@@ -1,0 +1,49 @@
+// Shared helpers for the experiment binaries (bench/).
+//
+// Each binary regenerates one paper artefact (DESIGN.md §6) and prints
+// paper-style rows.  Absolute step counts are not expected to match the
+// paper's constants — only the shapes (who wins, growth exponents,
+// crossovers); EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "support/table.h"
+
+namespace pp::bench {
+
+// Prints the experiment banner: id, paper artefact, and what is reproduced.
+inline void banner(const std::string& id, const std::string& artefact,
+                   const std::string& claim) {
+  std::printf("=== %s — %s ===\n%s\n\n", id.c_str(), artefact.c_str(),
+              claim.c_str());
+}
+
+inline void print_table(const text_table& t) {
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+// Scales an integer budget by PP_BENCH_SCALE (min 1).
+inline int scaled(int base) {
+  const double s = bench_scale();
+  const int v = static_cast<int>(base * s);
+  return v < 1 ? 1 : v;
+}
+
+class stopwatch {
+ public:
+  stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pp::bench

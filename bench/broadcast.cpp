@@ -1,0 +1,71 @@
+// E2 — Theorem 6, Lemmas 8/10/11/12: bounds on the broadcast time B(G).
+//
+// For every family and a sweep of sizes, measures B(G) and compares it with:
+//   * the Lemma 8 upper bound  m·max{6·ln n, D} + 2,
+//   * the Lemma 12 lower bound (m/Δ)·ln(n-1),
+//   * the family's Θ-shape (flat measured/shape ratio = reproduced claim),
+// and fits the log-log growth exponent of B(G) per family.
+#include <cmath>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+#include "graph/metrics.h"
+#include "support/fit.h"
+
+namespace pp {
+namespace {
+
+void run() {
+  bench::banner("E2", "Theorem 6 + Lemmas 8/11/12 (broadcast time bounds)",
+                "lower (m/Δ)·ln(n-1)  <=  measured B(G)  <=  upper m·max{6 ln n, D}+2;\n"
+                "measured/shape flat in n per family.");
+
+  const int trials = bench::scaled(60);
+  text_table table({"family", "n", "m", "D", "B measured", "lower bnd",
+                    "upper bnd", "shape", "B/shape"});
+
+  rng seed(20220206);
+  std::uint64_t stream = 0;
+  for (const auto& family : standard_families()) {
+    std::vector<double> sizes;
+    std::vector<double> values;
+    for (const node_id n : {32, 64, 128, 256}) {
+      rng make_gen = seed.fork(stream++);
+      const graph g = family.make(n, make_gen);
+      const double nn = static_cast<double>(g.num_nodes());
+      const double m = static_cast<double>(g.num_edges());
+      const double d = diameter(g);
+
+      const auto est = estimate_worst_case_broadcast_time(g, trials, 10,
+                                                          seed.fork(stream++));
+      const double lower = m / g.max_degree() * std::log(nn - 1.0);
+      const double upper = m * std::max(6.0 * std::log(nn), d) + 2.0;
+      const double shape = family.broadcast_shape(g);
+
+      sizes.push_back(nn);
+      values.push_back(est.value);
+      table.add_row({family.name, format_number(nn), format_number(m),
+                     format_number(d), format_number(est.value),
+                     format_number(lower), format_number(upper),
+                     format_number(shape), format_number(est.value / shape, 3)});
+    }
+    const auto fit = fit_loglog(sizes, values);
+    table.add_row({family.name + " fit", "", "", "",
+                   "slope " + format_number(fit.slope, 3), "", "",
+                   "R2 " + format_number(fit.r_squared, 3), ""});
+  }
+
+  bench::print_table(table);
+  std::printf(
+      "Expected slopes: clique/star/er_dense/rr8 ~ 1.1-1.3 (n log n),\n"
+      "cycle ~ 2 (n² = mD), torus ~ 1.5 (n^1.5).  Every measured B must sit\n"
+      "between its lower and upper bound columns.\n");
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() {
+  pp::run();
+  return 0;
+}

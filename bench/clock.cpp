@@ -1,0 +1,137 @@
+// E8 — §5.1, Lemmas 26-29: the streak clock.
+//
+// (a) E[K] = 2^{h+1} - 2 per tick (Lemma 27a) with the Lemma 26 geometric
+//     sandwich on the tails;
+// (b) E[X(d)] = E[K]·m/d: steps per tick scale inversely with degree
+//     (Lemma 27b) — the mechanism that filters out low-degree leaders;
+// (c) concentration of the ℓ-streak completion count (Lemma 28): the
+//     [E/2, 4E] window captures almost all runs.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/streak_clock.h"
+#include "graph/generators.h"
+#include "sched/scheduler.h"
+#include "support/stats.h"
+
+namespace pp {
+namespace {
+
+void expected_ticks() {
+  text_table table({"h", "E[K] formula", "K sampled", "ratio",
+                    "P[K>=4E] (tail)", "Geom sandwich ok"});
+  rng seed(11);
+  const int trials = bench::scaled(60000);
+  for (const int h : {1, 2, 3, 4, 6, 8}) {
+    rng gen = seed.fork(static_cast<std::uint64_t>(h));
+    const double expected = streak_clock::expected_interactions_per_tick(h);
+    double total = 0.0;
+    int tail = 0;
+    int sandwich_violations = 0;
+    const double ph = std::pow(2.0, -h);
+    const double ph1 = std::pow(2.0, -(h + 1));
+    for (int t = 0; t < trials; ++t) {
+      const auto k = static_cast<double>(sample_streak_interactions(h, gen));
+      total += k;
+      if (k >= 4 * expected) ++tail;
+      // Lemma 26 support check: K >= 1 always; the distributional sandwich
+      // is checked via tails below.
+      if (k < 1) ++sandwich_violations;
+    }
+    const double mean = total / trials;
+    const double upper_tail = std::pow(1.0 - ph1, 4 * expected - h);
+    const double lower_tail = std::pow(1.0 - ph, 4 * expected);
+    const double measured_tail = static_cast<double>(tail) / trials;
+    const bool ok = sandwich_violations == 0 &&
+                    measured_tail <= upper_tail + 0.01 &&
+                    measured_tail >= lower_tail - 0.01;
+    table.add_row({format_number(h), format_number(expected), format_number(mean),
+                   format_number(mean / expected, 3),
+                   format_number(measured_tail, 3), ok ? "yes" : "NO"});
+  }
+  std::printf("Lemma 26/27a: interactions per tick\n");
+  bench::print_table(table);
+}
+
+void steps_per_tick_by_degree() {
+  // On a star, the centre has degree n-1 and leaves degree 1: the measured
+  // steps-per-tick ratio must be ~(n-1), Lemma 27b.
+  const node_id n = 33;
+  const graph g = make_star(n);
+  const int h = 3;
+  const int ticks_wanted = bench::scaled(2000);
+
+  rng gen(12);
+  edge_scheduler sched(g, gen);
+  std::vector<streak_clock> clocks(static_cast<std::size_t>(n), streak_clock(h));
+  std::vector<std::uint64_t> ticks(static_cast<std::size_t>(n), 0);
+  int centre_ticks = 0;
+  while (centre_ticks < ticks_wanted) {
+    const interaction it = sched.next();
+    if (clocks[static_cast<std::size_t>(it.initiator)].on_interaction(true)) {
+      ++ticks[static_cast<std::size_t>(it.initiator)];
+      if (it.initiator == 0) ++centre_ticks;
+    }
+    clocks[static_cast<std::size_t>(it.responder)].on_interaction(false);
+  }
+  const double steps = static_cast<double>(sched.steps());
+  double leaf_ticks = 0.0;
+  for (node_id v = 1; v < n; ++v) leaf_ticks += static_cast<double>(ticks[static_cast<std::size_t>(v)]);
+  leaf_ticks /= (n - 1);
+
+  const double centre_rate = steps / centre_ticks;
+  const double leaf_rate = leaf_ticks > 0 ? steps / leaf_ticks : 0.0;
+  const double expected_centre =
+      streak_clock::expected_steps_per_tick(h, n - 1.0, static_cast<double>(g.num_edges()));
+  const double expected_leaf =
+      streak_clock::expected_steps_per_tick(h, 1.0, static_cast<double>(g.num_edges()));
+
+  std::printf("Lemma 27b: steps per tick on the star S_%d (h=%d)\n", n, h);
+  text_table table({"node", "degree", "steps/tick measured", "E[X(d)] formula", "ratio"});
+  table.add_row({"centre", format_number(n - 1.0), format_number(centre_rate),
+                 format_number(expected_centre), format_number(centre_rate / expected_centre, 3)});
+  table.add_row({"leaf avg", "1", format_number(leaf_rate),
+                 format_number(expected_leaf),
+                 format_number(leaf_rate > 0 ? leaf_rate / expected_leaf : 0.0, 3)});
+  bench::print_table(table);
+}
+
+void completion_concentration() {
+  // Lemma 28: R = interactions to complete ℓ streaks concentrates in
+  // [E[R]/2, 4·E[R]] for ℓ >= ln n.
+  const int h = 4;
+  const int ell = 12;
+  const double expected = streak_clock::expected_interactions_per_tick(h) * ell;
+  rng gen(13);
+  const int trials = bench::scaled(20000);
+  int below = 0;
+  int above = 0;
+  running_stats stats;
+  for (int t = 0; t < trials; ++t) {
+    double r = 0.0;
+    for (int i = 0; i < ell; ++i) {
+      r += static_cast<double>(sample_streak_interactions(h, gen));
+    }
+    stats.add(r);
+    if (r <= expected / 2) ++below;
+    if (r >= 4 * expected) ++above;
+  }
+  std::printf("Lemma 28: R over %d streaks (h=%d): E[R]=%s, mean=%s,\n"
+              "P[R <= E/2] = %s, P[R >= 4E] = %s (both should be tiny)\n\n",
+              ell, h, format_number(expected).c_str(),
+              format_number(stats.mean()).c_str(),
+              format_number(static_cast<double>(below) / trials, 3).c_str(),
+              format_number(static_cast<double>(above) / trials, 3).c_str());
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() {
+  pp::bench::banner("E8", "§5.1 streak clocks (Lemmas 26-29)",
+                    "E[K]=2^{h+1}-2; E[X(d)]=E[K]·m/d; R concentrates in [E/2, 4E].");
+  pp::expected_ticks();
+  pp::steps_per_tick_by_degree();
+  pp::completion_concentration();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E10 — §7.1, Lemmas 41/42/44: the machinery behind the Theorem 46
+// constant-state lower bound on dense random graphs.
+//
+// At t = c·n·ln n steps on dense graphs:
+//   * Lemma 41: |I_t(v)| <= n^ε — influence sets grow polynomially slowly;
+//   * Lemma 42: >= N^{1-ε} nodes have not interacted at all;
+//   * Lemma 44: the reverse influence multigraph J_t(v) contains only
+//     O(log n) internal interactions (it is almost a tree — the property that
+//     lets leader-generating patterns be unfolded and re-embedded into the
+//     untouched part of the graph, manufacturing a second leader).
+#include <cmath>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+#include "dynamics/influence.h"
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+void run() {
+  bench::banner("E10", "Lemmas 41/42/44 (surgery machinery on dense graphs)",
+                "influence sets ~ n^ε, survivors ~ n^{1-ε}, internal "
+                "interactions ~ log n\nat t = c·n·ln n on dense G(n,p).");
+
+  text_table table({"n", "c", "t", "max |I_t(v)|", "log_n(maxI)", "survivors",
+                    "log_n(surv)", "max internal", "/ln n", "tree n^.4 embeds"});
+
+  rng seed(16);
+  std::uint64_t stream = 0;
+  for (const node_id n : {128, 256, 512}) {
+    rng make_gen = seed.fork(stream++);
+    const graph g = make_connected_erdos_renyi(n, 0.5, make_gen);
+    const double nn = static_cast<double>(n);
+    for (const double c : {0.05, 0.15}) {
+      const auto t = static_cast<std::uint64_t>(c * nn * std::log(nn));
+      const auto sched = record_schedule(g, t, seed.fork(stream++));
+
+      std::size_t max_influencers = 0;
+      std::size_t max_internal = 0;
+      for (node_id v = 0; v < n; v += std::max(1, n / 32)) {
+        const auto stats = influencers_of(sched, n, v);
+        max_influencers = std::max(max_influencers, stats.influencer_count);
+        max_internal = std::max(max_internal, stats.internal_interactions);
+      }
+      const auto first = first_interaction_steps(sched, n);
+      const auto survivors = count_non_interacted(first, t);
+
+      // Lemma 43: the survivor-induced subgraph holds any tree of
+      // polynomial size — try a binary tree of n^0.4 nodes greedily.
+      std::vector<bool> alive(static_cast<std::size_t>(n), false);
+      for (node_id v = 0; v < n; ++v) {
+        alive[static_cast<std::size_t>(v)] =
+            first[static_cast<std::size_t>(v)] == 0 ||
+            first[static_cast<std::size_t>(v)] > t;
+      }
+      const auto tree_size =
+          std::max<node_id>(2, static_cast<node_id>(std::pow(nn, 0.4)));
+      const bool embeds =
+          !embed_tree_greedy(g, alive, make_binary_tree(tree_size)).empty();
+
+      table.add_row(
+          {format_number(nn), format_number(c, 2), format_number(static_cast<double>(t)),
+           format_number(static_cast<double>(max_influencers)),
+           format_number(std::log(static_cast<double>(max_influencers)) / std::log(nn), 3),
+           format_number(static_cast<double>(survivors)),
+           format_number(survivors > 0
+                             ? std::log(static_cast<double>(survivors)) / std::log(nn)
+                             : 0.0,
+                         3),
+           format_number(static_cast<double>(max_internal)),
+           format_number(static_cast<double>(max_internal) / std::log(nn), 3),
+           embeds ? "yes" : "NO"});
+    }
+  }
+
+  bench::print_table(table);
+  std::printf(
+      "Reading: the log_n(maxI) column stays bounded below 1 (Lemma 41's ε),\n"
+      "log_n(survivors) stays near 1 (Lemma 42), internal interactions stay\n"
+      "within a small multiple of ln n (Lemma 44), and the survivor set\n"
+      "holds polynomial-size trees (Lemma 43) — together these are the\n"
+      "ingredients that forbid o(n²) constant-state stabilization\n"
+      "(Theorem 46): any small, almost-tree leader-generating pattern can be\n"
+      "unfolded and re-embedded among the untouched nodes, minting a second\n"
+      "leader.\n");
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() {
+  pp::run();
+  return 0;
+}

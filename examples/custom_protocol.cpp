@@ -1,0 +1,118 @@
+// Custom protocol: implementing your own population protocol against the
+// library's public API.
+//
+//   $ ./example_custom_protocol
+//
+// Defines a three-state "duel" protocol from scratch — undecided nodes fight
+// (initiator wins), losers are contagious — shows that it satisfies the
+// `population_protocol` concept, runs it through the generic simulator, and
+// uses the brute-force reachability checker to demonstrate *why* it is not a
+// correct stable-leader-election protocol on general graphs (two leaders can
+// deadlock on disjoint edges), echoing the paper's point that the trivial
+// star protocol does not generalize.
+#include <cstdio>
+#include <span>
+
+#include "core/protocol.h"
+#include "core/simulator.h"
+#include "core/stable_checker.h"
+#include "graph/generators.h"
+
+namespace {
+
+// A user-defined protocol only needs a state type, four member functions and
+// a tracker; everything else (scheduler, census, stability loop) is generic.
+class duel_protocol {
+ public:
+  enum class state_type : std::uint8_t { undecided, leader, follower };
+
+  pp::node_id num_nodes() const { return 0; }  // uniform protocol
+
+  state_type initial_state(pp::node_id) const { return state_type::undecided; }
+
+  void interact(state_type& a, state_type& b) const {
+    if (a == state_type::undecided && b == state_type::undecided) {
+      a = state_type::leader;
+      b = state_type::follower;
+    } else if (a == state_type::leader && b == state_type::leader) {
+      b = state_type::follower;  // duels merge leaders along edges
+    } else {
+      if (a == state_type::undecided) a = state_type::follower;
+      if (b == state_type::undecided) b = state_type::follower;
+    }
+  }
+
+  pp::role output(const state_type& s) const {
+    return s == state_type::leader ? pp::role::leader : pp::role::follower;
+  }
+
+  std::uint64_t encode(const state_type& s) const {
+    return static_cast<std::uint64_t>(s);
+  }
+
+  // A deliberately simple tracker: count leaders and undecided nodes.  It is
+  // NOT sound for this protocol on general graphs (see main) — the point of
+  // the demo.
+  class tracker_type {
+   public:
+    tracker_type(const duel_protocol& proto, const pp::graph&,
+                 std::span<const state_type> config) {
+      for (const auto& s : config) account(proto, s, +1);
+    }
+    void on_interaction(const duel_protocol& proto, pp::node_id, pp::node_id,
+                        const state_type& ou, const state_type& ov,
+                        const state_type& nu, const state_type& nv) {
+      account(proto, ou, -1);
+      account(proto, ov, -1);
+      account(proto, nu, +1);
+      account(proto, nv, +1);
+    }
+    bool is_stable() const { return leaders_ == 1 && undecided_ == 0; }
+
+   private:
+    void account(const duel_protocol& proto, const state_type& s, int sign) {
+      if (proto.output(s) == pp::role::leader) leaders_ += sign;
+      if (s == state_type::undecided) undecided_ += sign;
+    }
+    std::int64_t leaders_ = 0;
+    std::int64_t undecided_ = 0;
+  };
+};
+
+static_assert(pp::population_protocol<duel_protocol>);
+
+}  // namespace
+
+int main() {
+  const duel_protocol proto;
+
+  // On a clique the duel protocol *does* elect a leader (leaders are always
+  // adjacent, so they fight until one remains)…
+  const pp::graph clique = pp::make_clique(16);
+  pp::rng seed(5);
+  int ok = 0;
+  for (int t = 0; t < 20; ++t) {
+    const auto r = pp::run_until_stable(proto, clique, seed.fork(t),
+                                        {.max_steps = 1'000'000});
+    if (r.stabilized) ++ok;
+  }
+  std::printf("clique K_16: %d/20 runs elected a unique leader\n", ok);
+
+  // …but on a path two leaders can arise on disjoint edges and never meet.
+  const pp::graph path = pp::make_path(4);
+  using st = duel_protocol::state_type;
+  const std::vector<st> deadlock{st::leader, st::follower, st::follower,
+                                 st::leader};
+  const auto report = pp::brute_force_stability(proto, path, deadlock);
+  std::printf("path P_4 two-leader configuration: output-stable per "
+              "exhaustive reachability? %s\n",
+              report.stable ? "yes — a real deadlock" : "no");
+  std::printf(
+      "\nMoral (paper §6.3): local symmetry breaking — like the one-shot\n"
+      "star protocol — does not extend to general graphs; correct stable\n"
+      "election needs the global machinery of Theorems 16/21/24.  Note the\n"
+      "simulator caught this because the naive tracker never fired, while\n"
+      "the brute-force checker certified the two-leader deadlock as\n"
+      "reachable-and-frozen.\n");
+  return 0;
+}

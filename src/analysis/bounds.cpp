@@ -1,0 +1,104 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp::bounds {
+
+double broadcast_upper_diameter(double m, double n, double diameter) {
+  expects(m >= 1 && n >= 2 && diameter >= 1, "broadcast_upper_diameter: bad args");
+  return m * std::max(6.0 * std::log(n), diameter) + 2.0;
+}
+
+double broadcast_upper_expansion(double m, double n, double beta) {
+  expects(m >= 1 && n >= 2 && beta > 0, "broadcast_upper_expansion: bad args");
+  return 4.0 * (m / beta) * std::log(n);
+}
+
+double broadcast_lower(double m, double max_degree, double n) {
+  expects(m >= 1 && max_degree >= 1 && n >= 2, "broadcast_lower: bad args");
+  return m / max_degree * std::log(n - 1.0);
+}
+
+double broadcast_shape_bounded_degree(double n, double diameter) {
+  return n * std::max(diameter, std::log2(n));
+}
+
+double population_hitting_upper(double n, double classic_hitting) {
+  return 27.0 * n * classic_hitting;
+}
+
+double meeting_upper(double population_hitting) { return 2.0 * population_hitting; }
+
+double theorem16_shape(double classic_hitting, double n) {
+  return classic_hitting * n * std::log2(n);
+}
+
+double theorem21_shape(double broadcast_time, double n) {
+  return broadcast_time + n * std::log2(n);
+}
+
+int theorem21_bits(double n, bool regular) {
+  expects(n >= 2, "theorem21_bits: need n >= 2");
+  const double factor = regular ? 3.0 : 4.0;
+  return std::min(62, static_cast<int>(std::ceil(factor * std::log2(n))));
+}
+
+double id_collision_upper(int k) {
+  expects(k >= 1 && k <= 62, "id_collision_upper: k out of range");
+  return std::ldexp(1.0, -k);
+}
+
+double id_settling_upper(int k, double n, double broadcast_time) {
+  return static_cast<double>(k) * n + 2.0 * broadcast_time;
+}
+
+double theorem24_shape(double broadcast_time, double n) {
+  return broadcast_time * std::log2(n);
+}
+
+int theorem24_streak_length(double broadcast_time, double max_degree, double m,
+                            int offset) {
+  expects(broadcast_time >= 1 && max_degree >= 1 && m >= 1,
+          "theorem24_streak_length: bad args");
+  const double ratio = broadcast_time * max_degree / m;
+  return offset + static_cast<int>(std::ceil(std::log2(std::max(1.0, ratio))));
+}
+
+int theorem24_level_threshold(double n, double tau) {
+  expects(n >= 2 && tau >= 1.0, "theorem24_level_threshold: bad args");
+  return std::max(1, static_cast<int>(std::ceil(2.0 * tau * std::log2(n))));
+}
+
+double clock_interactions_per_tick(int h) {
+  expects(h >= 1 && h <= 62, "clock_interactions_per_tick: h out of range");
+  return std::ldexp(1.0, h + 1) - 2.0;
+}
+
+double clock_steps_per_tick(int h, double degree, double m) {
+  expects(degree >= 1 && m >= degree, "clock_steps_per_tick: bad args");
+  return clock_interactions_per_tick(h) * m / degree;
+}
+
+double renitent_shape(double ell, double m) { return ell * m; }
+
+double dense_lower_shape(double n) { return n * std::log2(n); }
+
+double constant_state_lower_shape(double n) { return n * n; }
+
+double corollary25_shape(double n, double conductance) {
+  expects(conductance > 0 && conductance <= 1, "corollary25_shape: bad conductance");
+  const double lg = std::log2(n);
+  return n * lg * lg / conductance;
+}
+
+double corollary25_state_shape(double n, double conductance) {
+  expects(conductance > 0 && conductance <= 1,
+          "corollary25_state_shape: bad conductance");
+  const double lg = std::log2(n);
+  return lg * (std::log2(std::max(2.0, lg)) - std::log2(conductance));
+}
+
+}  // namespace pp::bounds

@@ -1,0 +1,85 @@
+// Closed-form bound and shape calculators from the paper, in one place.
+//
+// Each function evaluates one displayed bound at given graph parameters,
+// with the constants the paper states (where it states them) or unit
+// constants for Θ-shapes.  The benches compare measurements against these;
+// the tests pin each formula against hand-computed values.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace pp::bounds {
+
+// Lemma 8: B(G) <= m·max{6·ln n, D} + 2.
+double broadcast_upper_diameter(double m, double n, double diameter);
+
+// Lemma 10 (shape): B(G) <= C·(m/β)·log n; evaluated at C = 2·λ0 with the
+// paper's λ0 = 2 floor, i.e. 4·(m/β)·ln n.
+double broadcast_upper_expansion(double m, double n, double beta);
+
+// Lemma 12: B(G) >= (m/Δ)·ln(n-1).
+double broadcast_lower(double m, double max_degree, double n);
+
+// Theorem 15 (shape): B(G) = Θ(n·max{D, log n}) for bounded-degree graphs.
+double broadcast_shape_bounded_degree(double n, double diameter);
+
+// Lemma 17: H_P(G) <= 27·n·H(G).
+double population_hitting_upper(double n, double classic_hitting);
+
+// Lemma 18: M(u,v) <= 2·H_P(G).
+double meeting_upper(double population_hitting);
+
+// Theorem 16 (shape): 6-state stabilization = O(H(G)·n·log n).
+double theorem16_shape(double classic_hitting, double n);
+
+// Theorem 21 (shape): identifier-protocol stabilization = O(B(G) + n·log n).
+double theorem21_shape(double broadcast_time, double n);
+
+// Theorem 21: identifier bit-length k = ceil(4·log2 n) on general graphs
+// and ceil(3·log2 n) on regular graphs.
+int theorem21_bits(double n, bool regular);
+
+// Lemma 22: pairwise identifier collision probability <= 2^-k.
+double id_collision_upper(int k);
+
+// Lemma 23: settling time E[T] <= k·n + 2·B(G).
+double id_settling_upper(int k, double n, double broadcast_time);
+
+// Theorem 24 (shape): fast-protocol stabilization = O(B(G)·log n).
+double theorem24_shape(double broadcast_time, double n);
+
+// Theorem 24: streak parameter h = 8 + ceil(log2(B·Δ/m)) (the paper's
+// constant; `offset` generalises it for the calibrated preset).
+int theorem24_streak_length(double broadcast_time, double max_degree, double m,
+                            int offset = 8);
+
+// §5.2: elimination threshold L = ceil(2·τ·log2 n).
+int theorem24_level_threshold(double n, double tau = 1.0);
+
+// Lemma 27a: E[K] = 2^{h+1} - 2 interactions per streak-clock tick.
+double clock_interactions_per_tick(int h);
+
+// Lemma 27b: E[X(d)] = E[K]·m/d scheduler steps per tick at degree d.
+double clock_steps_per_tick(int h, double degree, double m);
+
+// Theorem 34 / Lemma 38 (shape): renitent graphs need Ω(ℓ·m) steps and have
+// B(G) = Θ(ℓ·m).
+double renitent_shape(double ell, double m);
+
+// Theorem 40 (shape): dense graphs (δ >= λn^φ, m >= λn²) need Ω(n·log n).
+double dense_lower_shape(double n);
+
+// Theorem 46 (shape): constant-state protocols on connected G(n,p) need
+// Ω(n²) — the shape below which no measurement may fall.
+double constant_state_lower_shape(double n);
+
+// Corollary 25 (shape): on regular graphs with conductance φ = β/Δ, the fast
+// protocol stabilizes in O(φ^{-1}·n·log² n) steps.
+double corollary25_shape(double n, double conductance);
+
+// Corollary 25 (states): O(log n · (log log n - log φ)).
+double corollary25_state_shape(double n, double conductance);
+
+}  // namespace pp::bounds

@@ -1,0 +1,79 @@
+// Multi-trial, multithreaded measurement of election and dynamics quantities.
+//
+// Every trial t of an experiment uses the generator seed_gen.fork(t), so the
+// estimates are reproducible regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/families.h"
+#include "core/beauquier.h"
+#include "core/simulator.h"
+#include "dynamics/epidemic.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace pp {
+
+// Aggregate of repeated election runs of one protocol on one graph.
+struct election_summary {
+  sample_summary steps;            // over stabilized trials only
+  double stabilized_fraction = 0;  // trials that stabilized within max_steps
+  double max_states_used = 0;      // empirical space complexity (census runs)
+};
+
+// Runs `trials` independent elections of `proto` on `g` in parallel.
+template <typename P>
+election_summary measure_election(const P& proto, const graph& g, int trials,
+                                  rng seed_gen, const sim_options& options = {},
+                                  std::size_t threads = 0) {
+  std::vector<election_result> results(static_cast<std::size_t>(trials));
+  parallel_for(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        results[t] = run_until_stable(proto, g, seed_gen.fork(t), options);
+      },
+      threads);
+
+  election_summary summary;
+  std::vector<double> steps;
+  int stabilized = 0;
+  for (const election_result& r : results) {
+    if (r.stabilized) {
+      ++stabilized;
+      steps.push_back(static_cast<double>(r.steps));
+    }
+    summary.max_states_used =
+        std::max(summary.max_states_used, static_cast<double>(r.distinct_states_used));
+  }
+  summary.stabilized_fraction = static_cast<double>(stabilized) / trials;
+  if (!steps.empty()) summary.steps = summarize(steps);
+  return summary;
+}
+
+// As `measure_election` for the Beauquier protocol, but with the event-driven
+// runner (orders of magnitude faster on sparse graphs).
+election_summary measure_beauquier_event_driven(const beauquier_protocol& proto,
+                                                const graph& g, int trials,
+                                                rng seed_gen,
+                                                std::uint64_t max_steps,
+                                                std::size_t threads = 0);
+
+// Estimates B(G) and wraps it with the family's predicted shape for
+// measured/shape ratio reporting.
+struct broadcast_summary {
+  double measured = 0.0;   // estimate of B(G) in scheduler steps
+  double shape = 0.0;      // family closed-form Θ-shape value
+  double ratio() const { return shape > 0 ? measured / shape : 0.0; }
+};
+broadcast_summary measure_broadcast(const graph& g, const graph_family& family,
+                                    int trials_per_source, int max_sources,
+                                    rng seed_gen);
+
+// Reads a positive scale factor from the PP_BENCH_SCALE environment variable
+// (default 1.0); benches multiply their problem sizes/trial counts by it.
+double bench_scale();
+
+}  // namespace pp

@@ -1,0 +1,98 @@
+#include "analysis/families.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "support/expects.h"
+
+namespace pp {
+
+namespace {
+
+double log2_of(const graph& g) {
+  return std::log2(static_cast<double>(g.num_nodes()));
+}
+
+double nodes_of(const graph& g) { return static_cast<double>(g.num_nodes()); }
+
+std::vector<graph_family> build_families() {
+  std::vector<graph_family> families;
+
+  families.push_back({
+      "clique",
+      [](node_id n, rng&) { return make_clique(n); },
+      // B(K_n) = Θ(n log n): coupon-collector-like boundary growth.
+      [](const graph& g) { return nodes_of(g) * log2_of(g); },
+      // H(K_n) = Θ(n).
+      [](const graph& g) { return nodes_of(g); },
+  });
+
+  families.push_back({
+      "cycle",
+      [](node_id n, rng&) { return make_cycle(n); },
+      // B(C_n) = Θ(m·D) = Θ(n²) (Theorem 6 upper, Lemma 14 lower).
+      [](const graph& g) { return nodes_of(g) * nodes_of(g); },
+      // H(C_n) = Θ(n²) (worst pair at distance n/2: k(n-k)).
+      [](const graph& g) { return nodes_of(g) * nodes_of(g); },
+  });
+
+  families.push_back({
+      "star",
+      [](node_id n, rng&) { return make_star(n); },
+      // B(S_n) = Θ(n log n): each leaf must interact, coupon collector.
+      [](const graph& g) { return nodes_of(g) * log2_of(g); },
+      // H(S_n) = Θ(n): from a leaf, each excursion through the centre hits a
+      // fixed other leaf with probability 1/(n-1).
+      [](const graph& g) { return nodes_of(g); },
+  });
+
+  families.push_back({
+      "torus",
+      [](node_id n, rng&) {
+        const auto side = static_cast<node_id>(
+            std::max(3.0, std::round(std::sqrt(static_cast<double>(n)))));
+        return make_grid_2d(side, side, /*torus=*/true);
+      },
+      // B = Θ(m·D) = Θ(n·√n) on the √n x √n torus.
+      [](const graph& g) { return std::pow(nodes_of(g), 1.5); },
+      // H = Θ(n log n) for the 2-d torus.
+      [](const graph& g) { return nodes_of(g) * log2_of(g); },
+  });
+
+  families.push_back({
+      "er_dense",
+      [](node_id n, rng& gen) { return make_connected_erdos_renyi(n, 0.5, gen); },
+      // B = Θ(n log n) w.h.p. (Lemma 11).
+      [](const graph& g) { return nodes_of(g) * log2_of(g); },
+      // H = O(n) a.a.s. (Proposition 20, via Löwe–Torres).
+      [](const graph& g) { return nodes_of(g); },
+  });
+
+  families.push_back({
+      "rr8",
+      [](node_id n, rng& gen) {
+        return make_random_regular(n, 8, gen);
+      },
+      // Constant-degree expander: B = Θ(n log n), H = Θ(n).
+      [](const graph& g) { return nodes_of(g) * log2_of(g); },
+      [](const graph& g) { return nodes_of(g); },
+  });
+
+  return families;
+}
+
+}  // namespace
+
+const std::vector<graph_family>& standard_families() {
+  static const std::vector<graph_family> families = build_families();
+  return families;
+}
+
+const graph_family& family_by_name(const std::string& name) {
+  for (const graph_family& f : standard_families()) {
+    if (f.name == name) return f;
+  }
+  throw std::invalid_argument("family_by_name: unknown family " + name);
+}
+
+}  // namespace pp

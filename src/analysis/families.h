@@ -1,0 +1,34 @@
+// Registry of the graph families appearing in Table 1 and §3/§6, together
+// with the closed-form *shapes* (Θ-values with unit constants) of their
+// broadcast time B(G) and classic worst-case hitting time H(G).  The benches
+// report measured/shape ratios: a ratio that is flat in n reproduces the
+// paper's asymptotic claim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+struct graph_family {
+  std::string name;
+  // Builds an instance with ~n nodes (exact n where the family allows it).
+  std::function<graph(node_id n, rng& gen)> make;
+  // Θ-shape of the worst-case expected broadcast time B(G) (§3).
+  std::function<double(const graph& g)> broadcast_shape;
+  // Θ-shape of the worst-case classic hitting time H(G) (§4.1).
+  std::function<double(const graph& g)> hitting_shape;
+};
+
+// clique, cycle, star, torus (√n x √n), dense Erdős–Rényi (p = 0.5,
+// conditioned on connectivity) and random 8-regular.
+const std::vector<graph_family>& standard_families();
+
+// Look up a family by name; throws std::invalid_argument if unknown.
+const graph_family& family_by_name(const std::string& name);
+
+}  // namespace pp

@@ -1,0 +1,159 @@
+#include "core/fast_election.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+namespace {
+
+int streak_length_for(const graph& g, double broadcast_time, int offset) {
+  expects(broadcast_time >= 1.0, "fast_params: broadcast time must be >= 1");
+  const double ratio = broadcast_time * static_cast<double>(g.max_degree()) /
+                       static_cast<double>(g.num_edges());
+  const int h = offset + static_cast<int>(std::ceil(std::log2(std::max(1.0, ratio))));
+  return std::clamp(h, 1, 30);
+}
+
+int elimination_threshold_for(const graph& g, double tau) {
+  const double n = static_cast<double>(g.num_nodes());
+  return std::max(1, static_cast<int>(std::ceil(2.0 * tau * std::log2(n))));
+}
+
+}  // namespace
+
+fast_params fast_params::paper(const graph& g, double broadcast_time, double tau) {
+  expects(tau >= 1.0, "fast_params::paper: tau must be >= 1");
+  fast_params p;
+  p.h = streak_length_for(g, broadcast_time, 8);
+  p.level_threshold = elimination_threshold_for(g, tau);
+  p.max_level = 8 * p.level_threshold;
+  return p;
+}
+
+fast_params fast_params::practical(const graph& g, double broadcast_time) {
+  fast_params p;
+  p.h = streak_length_for(g, broadcast_time, 2);
+  p.level_threshold = elimination_threshold_for(g, 1.0);
+  p.max_level = 4 * p.level_threshold;
+  return p;
+}
+
+fast_params fast_params::for_regular(const graph& g, double beta, int offset) {
+  expects(beta > 0.0, "fast_params::for_regular: edge expansion must be positive");
+  expects(g.min_degree() == g.max_degree(),
+          "fast_params::for_regular: graph must be regular");
+  const double n = static_cast<double>(g.num_nodes());
+  const double broadcast_bound =
+      static_cast<double>(g.num_edges()) / beta * std::log2(n);
+  fast_params p;
+  p.h = streak_length_for(g, broadcast_bound, offset);
+  p.level_threshold = elimination_threshold_for(g, 1.0);
+  p.max_level = 4 * p.level_threshold;
+  return p;
+}
+
+std::uint64_t fast_params::state_space_size() const {
+  // Fast-phase states: streak x level x status.  Backup states: level is
+  // pinned at max_level and the streak no longer matters, so the backup
+  // contributes the 6 Beauquier states.
+  return static_cast<std::uint64_t>(h + 1) *
+             static_cast<std::uint64_t>(max_level + 1) * 2 +
+         6;
+}
+
+fast_protocol::fast_protocol(fast_params params) : params_(params) {
+  expects(params.h >= 1 && params.h <= 200, "fast_protocol: h must be in [1, 200]");
+  expects(params.level_threshold >= 1,
+          "fast_protocol: level threshold must be >= 1");
+  expects(params.max_level > params.level_threshold,
+          "fast_protocol: max level must exceed the elimination threshold");
+  expects(params.max_level <= 60000, "fast_protocol: max level too large");
+}
+
+fast_protocol::state_type fast_protocol::initial_state(node_id) const {
+  return {};  // streak 0, level 0, leader, not in backup
+}
+
+void fast_protocol::phase_step(state_type& self, const state_type& other,
+                               bool initiator) const {
+  if (self.in_backup) return;  // level pinned at max; status owned by the backup
+
+  bool completed = false;
+  if (initiator) {
+    if (++self.streak == params_.h) {
+      completed = true;
+      self.streak = 0;
+    }
+  } else {
+    self.streak = 0;
+  }
+
+  // Rule 1: leaders climb one level per completed streak.
+  if (completed && self.leader && self.level < params_.max_level) ++self.level;
+
+  const auto other_level = static_cast<int>(other.level);
+  // Rule 2: strictly lower level than an elimination-phase partner: demoted.
+  if (static_cast<int>(self.level) < other_level &&
+      other_level >= params_.level_threshold) {
+    self.leader = false;
+  }
+  // Rule 3: elimination-phase levels spread by max-broadcast.
+  const int top = std::max(static_cast<int>(self.level), other_level);
+  if (top >= params_.level_threshold) self.level = static_cast<std::uint16_t>(top);
+
+  // Backup hand-off: the first node to arrive is a leader (only Rule 1
+  // reaches a fresh maximum) and seeds the instance as candidate; nodes
+  // arriving by Rule 3 adoption were just demoted by Rule 2 and join as
+  // followers.
+  if (static_cast<int>(self.level) >= params_.max_level) {
+    self.in_backup = true;
+    self.backup = bq_init(self.leader);
+  }
+}
+
+void fast_protocol::interact(state_type& a, state_type& b) const {
+  const state_type pre_a = a;
+  const state_type pre_b = b;
+  phase_step(a, pre_b, /*initiator=*/true);
+  phase_step(b, pre_a, /*initiator=*/false);
+  // Token exchange runs between nodes that were already in the backup before
+  // this interaction; a node entering above participates from the next one.
+  if (pre_a.in_backup && pre_b.in_backup) bq_interact(a.backup, b.backup);
+}
+
+std::uint64_t fast_protocol::encode(const state_type& s) const {
+  return static_cast<std::uint64_t>(s.streak) |
+         (static_cast<std::uint64_t>(s.level) << 8) |
+         (static_cast<std::uint64_t>(s.leader) << 24) |
+         (static_cast<std::uint64_t>(s.in_backup) << 25) |
+         (static_cast<std::uint64_t>(s.backup.candidate) << 26) |
+         (static_cast<std::uint64_t>(s.backup.token) << 27);
+}
+
+fast_protocol::tracker_type::tracker_type(const fast_protocol& proto, const graph&,
+                                          std::span<const state_type> config) {
+  for (const state_type& s : config) add(proto, s, +1);
+}
+
+void fast_protocol::tracker_type::add(const fast_protocol& proto,
+                                      const state_type& s, std::int64_t sign) {
+  if (proto.output(s) == role::leader) leaders_ += sign;
+  if (s.in_backup) {
+    if (s.backup.token == bq_token::black) black_ += sign;
+    if (s.backup.token == bq_token::white) white_ += sign;
+  }
+}
+
+void fast_protocol::tracker_type::on_interaction(
+    const fast_protocol& proto, node_id, node_id, const state_type& old_u,
+    const state_type& old_v, const state_type& new_u, const state_type& new_v) {
+  add(proto, old_u, -1);
+  add(proto, old_v, -1);
+  add(proto, new_u, +1);
+  add(proto, new_v, +1);
+}
+
+}  // namespace pp

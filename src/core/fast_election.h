@@ -1,0 +1,128 @@
+// The fast space-efficient leader-election protocol of §5 (Theorem 24).
+//
+// Every node runs a streak clock (§5.1) with parameter h chosen so that a
+// maximum-degree node ticks about every Θ(B(G)) scheduler steps.  On top of
+// the clock, each node keeps a `level` counter and a leader/follower status:
+//
+//   Rule 1: a leader that completes a streak increments its level (capped at
+//           the backup threshold α·L);
+//   Rule 2: a node whose level is strictly below an interaction partner's
+//           level >= L becomes a follower;
+//   Rule 3: levels >= L are broadcast (each node adopts the pairwise max).
+//
+// Levels below L form the *waiting phase* (it weeds out low-degree nodes,
+// whose clocks tick too slowly); levels in [L, α·L) form the *elimination
+// phase*, a tournament in which, w.h.p., a single Θ(Δ)-degree leader remains
+// after O(B(G)·log n) steps.  The first node to reach level α·L — necessarily
+// a leader — switches to the always-correct constant-state backup (Beauquier
+// instance seeded with its status) while Rule 3 keeps broadcasting α·L, so
+// every node joins the backup within O(B(G)) expected steps and the backup
+// finishes the election in the (polynomially unlikely) case the fast path
+// left several leaders.
+//
+// Structural invariants (proved in §5.2, checked by tests):
+//   * leaders are never created, only demoted; at least one node always
+//     outputs leader;
+//   * some node holding the globally maximal level is always a leader, so a
+//     *unique* fast-phase leader can never be demoted;
+//   * within the backup population, candidates = black + white and black >= 1.
+// Consequently the tracker's predicate — exactly one node outputs leader and
+// no white backup token exists — is sound: such a configuration is stable.
+//
+// State complexity: (h+1) streak values x (α·L+1) levels x status x backup
+// sub-state = O(h·L) = O(log n · h(G)) with h(G) = O(log(Δ/β · log n)), i.e.
+// O(log² n) in the worst case (Theorem 24).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/beauquier.h"
+#include "core/protocol.h"
+#include "graph/graph.h"
+
+namespace pp {
+
+// Non-uniform protocol parameters (all nodes get the same values, §2.2).
+struct fast_params {
+  int h = 4;                // streak length
+  int level_threshold = 8;  // L: start of the elimination phase
+  int max_level = 32;       // α·L: backup hand-off level
+
+  // The paper's constants (§5.2): h = 8 + ceil(log2(B·Δ/m)), L = ceil(2τ·log2 n),
+  // α = 8.  Generous union-bound constants; simulable only for small n.
+  static fast_params paper(const graph& g, double broadcast_time, double tau = 1.0);
+
+  // Calibrated constants preserving the O(B(G)·log n) shape with simulable
+  // absolute step counts: h = 2 + ceil(log2(B·Δ/m)), L = ceil(2·log2 n), α = 4.
+  static fast_params practical(const graph& g, double broadcast_time);
+
+  // Corollary 25 preset for Δ-regular graphs: instead of a measured B(G),
+  // uses the Theorem 6 bound B <= (m/β)·log n, so the parameters depend only
+  // on structural knowledge (n, m, Δ and the edge expansion β).  The streak
+  // length becomes h = offset + ceil(log2(Δ·log2(n)/β)) — exactly the
+  // paper's h(G) = O(log log n + log(1/φ)) with φ = β/Δ.
+  static fast_params for_regular(const graph& g, double beta, int offset = 2);
+
+  // Size of the reachable state space |Λ| for these parameters.
+  std::uint64_t state_space_size() const;
+};
+
+class fast_protocol {
+ public:
+  struct state_type {
+    std::uint8_t streak = 0;
+    std::uint16_t level = 0;
+    bool leader = true;
+    bool in_backup = false;
+    bq_state backup{};
+
+    friend bool operator==(const state_type&, const state_type&) = default;
+  };
+
+  explicit fast_protocol(fast_params params);
+
+  const fast_params& params() const { return params_; }
+
+  state_type initial_state(node_id v) const;
+  void interact(state_type& a, state_type& b) const;
+  role output(const state_type& s) const {
+    if (s.in_backup) return s.backup.candidate ? role::leader : role::follower;
+    return s.leader ? role::leader : role::follower;
+  }
+  std::uint64_t encode(const state_type& s) const;
+
+  class tracker_type {
+   public:
+    tracker_type(const fast_protocol& proto, const graph& g,
+                 std::span<const state_type> config);
+    void on_interaction(const fast_protocol& proto, node_id u, node_id v,
+                        const state_type& old_u, const state_type& old_v,
+                        const state_type& new_u, const state_type& new_v);
+    bool is_stable() const { return leaders_ == 1 && white_ == 0; }
+
+    std::int64_t leaders() const { return leaders_; }
+    std::int64_t black_tokens() const { return black_; }
+    std::int64_t white_tokens() const { return white_; }
+
+   private:
+    void add(const fast_protocol& proto, const state_type& s, std::int64_t sign);
+
+    std::int64_t leaders_ = 0;
+    std::int64_t black_ = 0;
+    std::int64_t white_ = 0;
+  };
+
+ private:
+  // Streak update plus Rules 1-3 for one node; `other` is the partner's
+  // pre-interaction state (population-protocol transitions read the
+  // pre-interaction pair).
+  void phase_step(state_type& self, const state_type& other, bool initiator) const;
+
+  fast_params params_;
+};
+
+static_assert(population_protocol<fast_protocol>);
+static_assert(stability_tracker<fast_protocol::tracker_type, fast_protocol>);
+
+}  // namespace pp

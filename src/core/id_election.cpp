@@ -1,0 +1,90 @@
+#include "core/id_election.h"
+
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+id_protocol::id_protocol(int k) : k_(k) {
+  expects(k >= 1 && k <= 62, "id_protocol: k must be in [1, 62]");
+  id_threshold_ = static_cast<std::uint64_t>(1) << k;
+}
+
+int id_protocol::suggested_k(node_id n) {
+  expects(n >= 2, "id_protocol::suggested_k: need n >= 2");
+  const int k = static_cast<int>(std::ceil(4.0 * std::log2(static_cast<double>(n))));
+  return std::min(k, 62);
+}
+
+id_protocol::state_type id_protocol::initial_state(node_id) const {
+  return {1, bq_init(false)};
+}
+
+void id_protocol::interact(state_type& a, state_type& b) const {
+  const state_type pre_a = a;
+  const state_type pre_b = b;
+
+  // Rules (1) and (2) for one node; `bit` is its index i in the ordered pair
+  // and `other` the partner's pre-interaction state.
+  const auto id_rules = [this](state_type& self, const state_type& other,
+                               std::uint64_t bit) {
+    if (self.id < id_threshold_) {
+      self.id = 2 * self.id + bit;
+      if (self.id >= id_threshold_) self.backup = bq_init(true);
+    }
+    if (self.id < other.id && other.id >= id_threshold_) {
+      self.id = other.id;
+      self.backup = bq_init(false);
+    }
+  };
+  id_rules(a, pre_b, 0);
+  id_rules(b, pre_a, 1);
+
+  // Rule (3): the constant-state instance runs within an instance label.
+  if (a.id == b.id) bq_interact(a.backup, b.backup);
+}
+
+id_protocol::tracker_type::tracker_type(const id_protocol& proto, const graph&,
+                                        std::span<const state_type> config)
+    : threshold_(proto.id_threshold()) {
+  for (const state_type& s : config) {
+    add_id(s.id, +1);
+    counts_.add(s.backup, +1);
+    ++nodes_;
+  }
+}
+
+void id_protocol::tracker_type::add_id(std::uint64_t id, std::int64_t sign) {
+  auto [it, inserted] = id_count_.try_emplace(id, 0);
+  it->second += sign;
+  if (it->second == 0) id_count_.erase(it);
+}
+
+void id_protocol::tracker_type::on_interaction(const id_protocol&, node_id, node_id,
+                                               const state_type& old_u,
+                                               const state_type& old_v,
+                                               const state_type& new_u,
+                                               const state_type& new_v) {
+  if (old_u.id != new_u.id) {
+    add_id(old_u.id, -1);
+    add_id(new_u.id, +1);
+  }
+  if (old_v.id != new_v.id) {
+    add_id(old_v.id, -1);
+    add_id(new_v.id, +1);
+  }
+  counts_.add(old_u.backup, -1);
+  counts_.add(old_v.backup, -1);
+  counts_.add(new_u.backup, +1);
+  counts_.add(new_v.backup, +1);
+}
+
+bool id_protocol::tracker_type::is_stable() const {
+  if (id_count_.size() != 1) return false;
+  const auto& [id, count] = *id_count_.begin();
+  ensure(count == nodes_, "id_protocol tracker: id census out of sync");
+  return id >= threshold_ && counts_.stable();
+}
+
+}  // namespace pp

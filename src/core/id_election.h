@@ -1,0 +1,95 @@
+// The time-efficient identifier-based protocol of Theorem 21 (§4.2).
+//
+// Nodes generate k-bit identifiers from their interaction roles (initiator
+// appends 0, responder appends 1, starting from id = 1), then elect the node
+// with the largest identifier by broadcasting the maximum.  Since two nodes
+// may — with probability at most 1/2^k per pair (Lemma 22) — generate the
+// same maximal identifier, each finished node runs a labelled instance of
+// the always-correct constant-state Beauquier protocol; joining a higher
+// instance resets a node to that instance's follower state.  Expected
+// stabilization is O(B(G) + n log n) steps (Theorem 21) using O(n^4) states
+// for k = ceil(4 log2 n) (O(n^3) on regular graphs with k = ceil(3 log2 n)).
+//
+// Rules applied by node v_i in an interaction (v_0 initiator, v_1 responder),
+// in sequence, reading the partner's pre-interaction state:
+//   (1) if id < 2^k:   id <- 2·id + i;   if now id >= 2^k: become candidate
+//       with a fresh black token (start own instance);
+//   (2) if id < partner.id and partner.id >= 2^k: adopt partner.id and reset
+//       to the instance's follower state (any held token is destroyed — it
+//       belonged to a dead instance);
+//   (3) if both nodes now carry the same instance id: run the Beauquier
+//       transition on the pair (token swap / recolour / white-kill).
+//
+// Stability predicate (tracker): all n identifiers equal, >= 2^k, and the
+// global Beauquier census is (candidates, black, white) = (1, 1, 0).  When
+// all ids are equal every token belongs to the surviving instance, so this is
+// exactly the Beauquier stable configuration of that instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "core/beauquier.h"
+#include "core/protocol.h"
+#include "graph/graph.h"
+
+namespace pp {
+
+class id_protocol {
+ public:
+  struct state_type {
+    std::uint64_t id = 1;
+    bq_state backup;
+
+    friend bool operator==(const state_type&, const state_type&) = default;
+  };
+
+  // k = identifier bit length; ids live in [2^k, 2^{k+1}).  Requires
+  // 1 <= k <= 62.  Use `suggested_k` for the paper's Theorem 21 setting.
+  explicit id_protocol(int k);
+
+  // ceil(4·log2 n), the general-graph choice of Theorem 21 (capped at 62).
+  static int suggested_k(node_id n);
+
+  int k() const { return k_; }
+  std::uint64_t id_threshold() const { return id_threshold_; }
+
+  state_type initial_state(node_id v) const;
+  void interact(state_type& a, state_type& b) const;
+  role output(const state_type& s) const {
+    return s.backup.candidate ? role::leader : role::follower;
+  }
+  std::uint64_t encode(const state_type& s) const {
+    return s.id * 8 + static_cast<std::uint64_t>(s.backup.candidate) * 4 +
+           static_cast<std::uint64_t>(s.backup.token);
+  }
+
+  class tracker_type {
+   public:
+    tracker_type(const id_protocol& proto, const graph& g,
+                 std::span<const state_type> config);
+    void on_interaction(const id_protocol& proto, node_id u, node_id v,
+                        const state_type& old_u, const state_type& old_v,
+                        const state_type& new_u, const state_type& new_v);
+    bool is_stable() const;
+    const bq_counts& counts() const { return counts_; }
+
+   private:
+    void add_id(std::uint64_t id, std::int64_t sign);
+
+    std::uint64_t threshold_;
+    std::unordered_map<std::uint64_t, std::int64_t> id_count_;
+    std::int64_t nodes_ = 0;
+    bq_counts counts_;
+  };
+
+ private:
+  int k_;
+  std::uint64_t id_threshold_;  // 2^k
+};
+
+static_assert(population_protocol<id_protocol>);
+static_assert(stability_tracker<id_protocol::tracker_type, id_protocol>);
+
+}  // namespace pp

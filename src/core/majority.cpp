@@ -1,0 +1,105 @@
+#include "core/majority.h"
+
+#include "core/simulator.h"
+#include "support/expects.h"
+
+namespace pp {
+
+namespace {
+
+using st = majority_protocol::state_type;
+
+bool is_strong(st s) { return s == st::strong_plus || s == st::strong_minus; }
+
+}  // namespace
+
+majority_protocol::majority_protocol(std::vector<majority_vote> votes)
+    : votes_(std::move(votes)) {
+  expects(!votes_.empty(), "majority_protocol: need at least one vote");
+}
+
+majority_protocol::state_type majority_protocol::initial_state(node_id v) const {
+  expects(v >= 0 && v < num_nodes(), "majority_protocol: node out of range");
+  return votes_[static_cast<std::size_t>(v)] == majority_vote::plus
+             ? st::strong_plus
+             : st::strong_minus;
+}
+
+void majority_protocol::interact(state_type& a, state_type& b) const {
+  // Strong-strong of opposite signs cancel into weaks of their own leaning.
+  if ((a == st::strong_plus && b == st::strong_minus) ||
+      (a == st::strong_minus && b == st::strong_plus)) {
+    a = a == st::strong_plus ? st::weak_plus : st::weak_minus;
+    b = b == st::strong_plus ? st::weak_plus : st::weak_minus;
+    return;
+  }
+  // A strong token swaps with a weak partner, leaving its leaning behind:
+  // the opinion random-walks and converts every node it passes.
+  if (is_strong(a) && !is_strong(b)) {
+    b = a;
+    a = b == st::strong_plus ? st::weak_plus : st::weak_minus;
+    return;
+  }
+  if (is_strong(b) && !is_strong(a)) {
+    a = b;
+    b = a == st::strong_plus ? st::weak_plus : st::weak_minus;
+    return;
+  }
+  // strong-strong same sign and weak-weak: no change.
+}
+
+majority_protocol::tracker_type::tracker_type(const majority_protocol&,
+                                              const graph&,
+                                              std::span<const state_type> config) {
+  for (const state_type& s : config) add(s, +1);
+}
+
+void majority_protocol::tracker_type::add(const state_type& s, std::int64_t sign) {
+  switch (s) {
+    case st::strong_plus: strong_plus_ += sign; break;
+    case st::strong_minus: strong_minus_ += sign; break;
+    case st::weak_plus: weak_plus_ += sign; break;
+    case st::weak_minus: weak_minus_ += sign; break;
+  }
+}
+
+void majority_protocol::tracker_type::on_interaction(
+    const majority_protocol&, node_id, node_id, const state_type& old_u,
+    const state_type& old_v, const state_type& new_u, const state_type& new_v) {
+  add(old_u, -1);
+  add(old_v, -1);
+  add(new_u, +1);
+  add(new_v, +1);
+}
+
+majority_result run_majority(const majority_protocol& proto, const graph& g,
+                             rng gen, std::uint64_t max_steps) {
+  const auto r = run_until_stable(proto, g, gen, {.max_steps = max_steps});
+  majority_result out;
+  out.stabilized = r.stabilized;
+  out.steps = r.steps;
+  if (r.stabilized) {
+    // The simulator reports some node with output leader, which exists only
+    // if plus won; a minus win has zero "leaders".
+    out.winner = r.leader >= 0 ? majority_vote::plus : majority_vote::minus;
+  }
+  return out;
+}
+
+std::vector<majority_vote> random_vote_assignment(node_id n, node_id plus_count,
+                                                  rng& gen) {
+  expects(n >= 1 && plus_count >= 0 && plus_count <= n,
+          "random_vote_assignment: bad counts");
+  std::vector<majority_vote> votes(static_cast<std::size_t>(n),
+                                   majority_vote::minus);
+  for (node_id i = 0; i < plus_count; ++i) {
+    votes[static_cast<std::size_t>(i)] = majority_vote::plus;
+  }
+  for (std::size_t i = votes.size() - 1; i > 0; --i) {
+    const std::size_t j = gen.uniform_below(i + 1);
+    std::swap(votes[i], votes[j]);
+  }
+  return votes;
+}
+
+}  // namespace pp

@@ -1,0 +1,126 @@
+// Exact majority on graphs — the paper's "future work" problem (§8).
+//
+// The conclusions single out majority as the next fundamental task for the
+// graphical population model and suggest the same techniques apply.  This
+// module implements the classic four-state exact-majority protocol (binary
+// interval consensus in the style of Bénézit et al.), which is always
+// correct on every connected interaction graph whenever the input is not a
+// tie, and whose stabilization time is driven by the same token
+// meeting-time machinery as Theorem 16.
+//
+// States: strong plus / strong minus / weak leaning-plus / weak
+// leaning-minus.  Rules for an interacting pair (order-insensitive):
+//   strong+  with strong-  ->  both become weak with their own leaning
+//                              (one +1 and one -1 cancel; the difference
+//                               #strong+ - #strong- is invariant);
+//   strong   with weak     ->  they swap places and the vacated node keeps
+//                              the strong's leaning — the strong opinion is
+//                              a token performing the §4.1 random walk,
+//                              converting every node it passes;
+//   weak     with weak, strongs of equal sign -> nothing.
+//
+// Since #strong+ - #strong- never changes and strong tokens random-walk,
+// opposite strongs meet and cancel in finite expected time (the meeting-time
+// machinery of §4.1), so the minority strong count hits zero; the surviving
+// majority strongs then walk over and convert every opposite-leaning weak.  The
+// stable configurations are exactly those with no strong minority sign and
+// no opposite-leaning weak node — the tracker's predicate.  Tie inputs
+// (#plus == #minus) cancel all strongs and freeze the weak leanings as they
+// happen to be; no configuration with both leanings present is then stable,
+// so the tracker (correctly) never fires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// Output alphabet of the majority problem.
+enum class majority_vote : std::uint8_t { minus = 0, plus = 1 };
+
+class majority_protocol {
+ public:
+  enum class state_type : std::uint8_t {
+    strong_minus = 0,
+    weak_minus = 1,
+    weak_plus = 2,
+    strong_plus = 3,
+  };
+
+  // Input: one vote per node (the initial opinions).
+  explicit majority_protocol(std::vector<majority_vote> votes);
+
+  node_id num_nodes() const { return static_cast<node_id>(votes_.size()); }
+
+  state_type initial_state(node_id v) const;
+  void interact(state_type& a, state_type& b) const;
+
+  // The protocol's output map onto the library's two-valued role type:
+  // plus-leaning states report `leader`, minus-leaning `follower`.  Use
+  // `vote_of` for the domain-correct reading.
+  role output(const state_type& s) const {
+    return vote_of(s) == majority_vote::plus ? role::leader : role::follower;
+  }
+  static majority_vote vote_of(const state_type& s) {
+    return (s == state_type::strong_plus || s == state_type::weak_plus)
+               ? majority_vote::plus
+               : majority_vote::minus;
+  }
+  std::uint64_t encode(const state_type& s) const {
+    return static_cast<std::uint64_t>(s);
+  }
+
+  class tracker_type {
+   public:
+    tracker_type(const majority_protocol& proto, const graph& g,
+                 std::span<const state_type> config);
+    void on_interaction(const majority_protocol& proto, node_id u, node_id v,
+                        const state_type& old_u, const state_type& old_v,
+                        const state_type& new_u, const state_type& new_v);
+    // Stable iff one sign owns the population: no strong of the other sign
+    // remains and no weak node leans the other way.
+    bool is_stable() const {
+      const bool plus_won = strong_minus_ == 0 && weak_minus_ == 0;
+      const bool minus_won = strong_plus_ == 0 && weak_plus_ == 0;
+      return plus_won || minus_won;
+    }
+    std::int64_t strong_difference() const { return strong_plus_ - strong_minus_; }
+
+   private:
+    void add(const state_type& s, std::int64_t sign);
+
+    std::int64_t strong_plus_ = 0;
+    std::int64_t strong_minus_ = 0;
+    std::int64_t weak_plus_ = 0;
+    std::int64_t weak_minus_ = 0;
+  };
+
+ private:
+  std::vector<majority_vote> votes_;
+};
+
+static_assert(population_protocol<majority_protocol>);
+static_assert(stability_tracker<majority_protocol::tracker_type, majority_protocol>);
+
+// Result of one majority run.
+struct majority_result {
+  bool stabilized = false;
+  std::uint64_t steps = 0;
+  majority_vote winner = majority_vote::minus;  // valid if stabilized
+};
+
+// Runs the majority protocol until its tracker fires (or max_steps).
+majority_result run_majority(const majority_protocol& proto, const graph& g,
+                             rng gen, std::uint64_t max_steps = UINT64_MAX);
+
+// Convenience: a vote vector with `plus_count` pluses followed by minuses,
+// shuffled by `gen` so votes are placed uniformly at random on the graph.
+std::vector<majority_vote> random_vote_assignment(node_id n, node_id plus_count,
+                                                  rng& gen);
+
+}  // namespace pp

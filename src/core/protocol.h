@@ -1,0 +1,63 @@
+// The population-protocol abstraction (§2.2).
+//
+// A protocol is a finite-state machine over node states: the scheduler picks
+// an ordered pair (initiator, responder) of adjacent nodes, and the pair's
+// states are rewritten by the deterministic transition function.  All
+// randomness lives in the scheduler.
+//
+// A protocol type P models `population_protocol` when it provides:
+//   * `state_type`           — a cheap, copyable per-node state;
+//   * `initial_state(v)`     — the state node v starts in.  For uniform
+//                              protocols this ignores v; protocols with input
+//                              (e.g. Beauquier's candidate set, Theorem 16)
+//                              carry the input assignment in the protocol
+//                              object;
+//   * `interact(a, b)`       — the transition A+B -> C+D, a = initiator;
+//   * `output(s)`            — leader/follower output map;
+//   * `encode(s)`            — injective encoding of the state into 64 bits,
+//                              used by the state census and the brute-force
+//                              stability checker;
+//   * `tracker_type`         — an O(1)-per-step stability detector (see
+//                              below).
+//
+// Trackers implement protocol-specific *sound* stability predicates: when
+// `is_stable()` returns true the configuration is guaranteed stable (exactly
+// one leader forever), and every run that stabilizes is eventually detected.
+// The per-protocol soundness arguments live in the protocol headers and are
+// cross-validated against exhaustive reachability in tests/.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace pp {
+
+// Leader-election output values.
+enum class role : std::uint8_t { follower = 0, leader = 1 };
+
+template <typename P>
+concept population_protocol =
+    std::copyable<typename P::state_type> &&
+    requires(const P proto, typename P::state_type& a, typename P::state_type& b,
+             const typename P::state_type& s, node_id v) {
+      { proto.initial_state(v) } -> std::same_as<typename P::state_type>;
+      { proto.interact(a, b) };
+      { proto.output(s) } -> std::same_as<role>;
+      { proto.encode(s) } -> std::same_as<std::uint64_t>;
+      typename P::tracker_type;
+    };
+
+template <typename T, typename P>
+concept stability_tracker =
+    requires(T tracker, const P proto, const graph& g,
+             std::span<const typename P::state_type> config, node_id v,
+             const typename P::state_type& s) {
+      { T(proto, g, config) };
+      { tracker.on_interaction(proto, v, v, s, s, s, s) };
+      { tracker.is_stable() } -> std::same_as<bool>;
+    };
+
+}  // namespace pp

@@ -1,0 +1,90 @@
+// Generic simulator: runs any population_protocol under the stochastic
+// scheduler until the protocol's stability tracker fires (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/protocol.h"
+#include "graph/graph.h"
+#include "sched/scheduler.h"
+#include "support/expects.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// Outcome of one run.
+struct election_result {
+  bool stabilized = false;
+  // Scheduler steps until the stability predicate first held (== the paper's
+  // stabilization time), or max_steps if it never did.
+  std::uint64_t steps = 0;
+  // Lowest-indexed node whose output is `leader` in the stable
+  // configuration; -1 if none (possible for non-election protocols such as
+  // majority, where the output map reuses the role alphabet).
+  node_id leader = -1;
+  // Number of distinct node states observed during the run (only if the
+  // census was enabled; this is the empirical space complexity).
+  std::size_t distinct_states_used = 0;
+};
+
+struct sim_options {
+  std::uint64_t max_steps = UINT64_MAX;
+  bool state_census = false;
+};
+
+// Runs `proto` on `g` from its initial configuration until the tracker
+// declares stability or `max_steps` elapse.
+template <population_protocol P>
+  requires stability_tracker<typename P::tracker_type, P>
+election_result run_until_stable(const P& proto, const graph& g, rng gen,
+                                 const sim_options& options = {}) {
+  const node_id n = g.num_nodes();
+  std::vector<typename P::state_type> config(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) {
+    config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+  }
+
+  std::unordered_set<std::uint64_t> census;
+  if (options.state_census) {
+    for (const auto& s : config) census.insert(proto.encode(s));
+  }
+
+  typename P::tracker_type tracker(proto, g,
+                                   std::span<const typename P::state_type>(config));
+  edge_scheduler sched(g, gen);
+
+  election_result result;
+  while (!tracker.is_stable()) {
+    if (sched.steps() >= options.max_steps) {
+      result.steps = sched.steps();
+      result.distinct_states_used = census.size();
+      return result;
+    }
+    const interaction it = sched.next();
+    auto& a = config[static_cast<std::size_t>(it.initiator)];
+    auto& b = config[static_cast<std::size_t>(it.responder)];
+    const auto old_a = a;
+    const auto old_b = b;
+    proto.interact(a, b);
+    tracker.on_interaction(proto, it.initiator, it.responder, old_a, old_b, a, b);
+    if (options.state_census) {
+      census.insert(proto.encode(a));
+      census.insert(proto.encode(b));
+    }
+  }
+
+  result.stabilized = true;
+  result.steps = sched.steps();
+  result.distinct_states_used = census.size();
+  for (node_id v = 0; v < n; ++v) {
+    if (proto.output(config[static_cast<std::size_t>(v)]) == role::leader) {
+      result.leader = v;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pp

@@ -1,0 +1,5 @@
+#include "core/stable_checker.h"
+
+// The checker itself is a header-only template (see stable_checker.h); this
+// translation unit only anchors it in the library so include errors surface
+// at library build time rather than first use.

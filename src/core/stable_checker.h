@@ -1,0 +1,113 @@
+// Ground-truth stability via exhaustive reachability (test oracle).
+//
+// A configuration is stable iff every configuration reachable from it by any
+// interaction sequence produces the same output at every node (§2.2).  For
+// tiny graphs and small state spaces this is decidable by BFS over the
+// configuration graph; the test suite uses it to validate each protocol's
+// O(1)-per-step stability tracker against the definition.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/protocol.h"
+#include "graph/graph.h"
+#include "support/expects.h"
+
+namespace pp {
+
+namespace detail {
+
+// FNV-1a over the encoded configuration; collisions are guarded by storing
+// full keys in the visited set.
+inline std::uint64_t hash_encoded(const std::vector<std::uint64_t>& enc) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t x : enc) {
+    h ^= x;
+    h *= 1099511628211ull;
+    h ^= x >> 32;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+// Result of the exhaustive check.
+struct reachability_report {
+  bool stable = false;          // all reachable configurations agree on output
+  bool exhausted = true;        // false if max_configs was hit (inconclusive)
+  std::size_t configs_visited = 0;
+};
+
+// Explores every configuration reachable from `config` under `proto` on `g`
+// (interactions in both orientations of every edge) and reports whether all
+// of them produce identical output vectors.
+template <population_protocol P>
+reachability_report brute_force_stability(const P& proto, const graph& g,
+                                          std::vector<typename P::state_type> config,
+                                          std::size_t max_configs = 2'000'000) {
+  using state = typename P::state_type;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  expects(config.size() == n, "brute_force_stability: configuration size mismatch");
+
+  const auto outputs_of = [&](const std::vector<state>& c) {
+    std::vector<role> out(n);
+    for (std::size_t v = 0; v < n; ++v) out[v] = proto.output(c[v]);
+    return out;
+  };
+  const auto encode_all = [&](const std::vector<state>& c) {
+    std::vector<std::uint64_t> enc(n);
+    for (std::size_t v = 0; v < n; ++v) enc[v] = proto.encode(c[v]);
+    return enc;
+  };
+
+  const std::vector<role> reference = outputs_of(config);
+
+  struct key_hash {
+    std::size_t operator()(const std::vector<std::uint64_t>& k) const {
+      return static_cast<std::size_t>(detail::hash_encoded(k));
+    }
+  };
+  std::unordered_set<std::vector<std::uint64_t>, key_hash> visited;
+  std::deque<std::vector<state>> queue;
+
+  visited.insert(encode_all(config));
+  queue.push_back(std::move(config));
+
+  reachability_report report;
+  while (!queue.empty()) {
+    const std::vector<state> current = std::move(queue.front());
+    queue.pop_front();
+    ++report.configs_visited;
+
+    if (outputs_of(current) != reference) {
+      report.stable = false;
+      return report;
+    }
+    if (visited.size() > max_configs) {
+      report.exhausted = false;
+      report.stable = false;
+      return report;
+    }
+
+    for (const edge& e : g.edges()) {
+      for (const bool flip : {false, true}) {
+        std::vector<state> next = current;
+        auto& a = next[static_cast<std::size_t>(flip ? e.v : e.u)];
+        auto& b = next[static_cast<std::size_t>(flip ? e.u : e.v)];
+        proto.interact(a, b);
+        auto enc = encode_all(next);
+        if (visited.insert(std::move(enc)).second) {
+          queue.push_back(std::move(next));
+        }
+      }
+    }
+  }
+  report.stable = true;
+  return report;
+}
+
+}  // namespace pp

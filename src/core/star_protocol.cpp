@@ -1,0 +1,58 @@
+#include "core/star_protocol.h"
+
+#include "support/expects.h"
+
+namespace pp {
+
+void star_protocol::interact(state_type& a, state_type& b) const {
+  if (a == state_type::undecided && b == state_type::undecided) {
+    a = state_type::leader;
+    b = state_type::follower;
+    return;
+  }
+  if (a == state_type::undecided) a = state_type::follower;
+  if (b == state_type::undecided) b = state_type::follower;
+}
+
+star_protocol::tracker_type::tracker_type(const star_protocol& proto,
+                                          const graph& g,
+                                          std::span<const state_type> config)
+    : graph_(&g),
+      undecided_(static_cast<std::size_t>(g.num_nodes()), false) {
+  expects(config.size() == static_cast<std::size_t>(g.num_nodes()),
+          "star_protocol tracker: configuration size mismatch");
+  for (std::size_t v = 0; v < config.size(); ++v) {
+    undecided_[v] = config[v] == state_type::undecided;
+    if (proto.output(config[v]) == role::leader) ++leaders_;
+  }
+  for (const edge& e : g.edges()) {
+    if (undecided_[static_cast<std::size_t>(e.u)] &&
+        undecided_[static_cast<std::size_t>(e.v)]) {
+      ++undecided_edges_;
+    }
+  }
+}
+
+void star_protocol::tracker_type::settle(node_id z) {
+  // Node z just left the undecided state: every edge from z to a currently
+  // undecided neighbour stops being an undecided-undecided edge.
+  for (const node_id w : graph_->neighbors(z)) {
+    if (undecided_[static_cast<std::size_t>(w)]) --undecided_edges_;
+  }
+  undecided_[static_cast<std::size_t>(z)] = false;
+}
+
+void star_protocol::tracker_type::on_interaction(const star_protocol&, node_id u,
+                                                 node_id v, const state_type& old_u,
+                                                 const state_type& old_v,
+                                                 const state_type& new_u,
+                                                 const state_type& new_v) {
+  // Settle u before v so the shared edge {u, v} is decremented exactly once
+  // when both leave the undecided state in the same interaction.
+  if (old_u == state_type::undecided && new_u != state_type::undecided) settle(u);
+  if (old_v == state_type::undecided && new_v != state_type::undecided) settle(v);
+  if (new_u == state_type::leader && old_u != state_type::leader) ++leaders_;
+  if (new_v == state_type::leader && old_v != state_type::leader) ++leaders_;
+}
+
+}  // namespace pp

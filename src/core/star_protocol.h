@@ -1,0 +1,63 @@
+// The trivial constant-state protocol for star graphs (Table 1, last row).
+//
+// Three states: undecided (initial), leader, follower.  When two undecided
+// nodes interact, the initiator becomes leader and the responder follower;
+// an undecided node interacting with a decided one becomes a follower;
+// decided nodes never change.  On a star every interaction involves the
+// centre, so after the *first* interaction the centre is decided and no
+// undecided-undecided edge remains: exactly one leader exists and no new one
+// can ever appear — stable leader election in a single interaction with O(1)
+// states.  (On general graphs the protocol may stabilize with several
+// leaders; the tracker then never fires.  It illustrates why the Ω(n log n)
+// dense-graph lower bound of Theorem 40 cannot extend to all sparse graphs.)
+//
+// Tracker predicate: exactly one node outputs leader and no edge joins two
+// undecided nodes.  Leaders are never demoted and new leaders require an
+// undecided-undecided interaction, so the predicate is sound on any graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.h"
+#include "graph/graph.h"
+
+namespace pp {
+
+class star_protocol {
+ public:
+  enum class state_type : std::uint8_t { undecided = 0, leader = 1, follower = 2 };
+
+  state_type initial_state(node_id) const { return state_type::undecided; }
+  void interact(state_type& a, state_type& b) const;
+  role output(const state_type& s) const {
+    return s == state_type::leader ? role::leader : role::follower;
+  }
+  std::uint64_t encode(const state_type& s) const {
+    return static_cast<std::uint64_t>(s);
+  }
+
+  class tracker_type {
+   public:
+    tracker_type(const star_protocol& proto, const graph& g,
+                 std::span<const state_type> config);
+    void on_interaction(const star_protocol& proto, node_id u, node_id v,
+                        const state_type& old_u, const state_type& old_v,
+                        const state_type& new_u, const state_type& new_v);
+    bool is_stable() const { return leaders_ == 1 && undecided_edges_ == 0; }
+
+   private:
+    void settle(node_id z);
+
+    const graph* graph_;
+    std::vector<bool> undecided_;
+    std::int64_t leaders_ = 0;
+    std::int64_t undecided_edges_ = 0;
+  };
+};
+
+static_assert(population_protocol<star_protocol>);
+static_assert(stability_tracker<star_protocol::tracker_type, star_protocol>);
+
+}  // namespace pp

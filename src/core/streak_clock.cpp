@@ -1,0 +1,53 @@
+#include "core/streak_clock.h"
+
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+streak_clock::streak_clock(int h) : h_(h) {
+  expects(h >= 1 && h <= 62, "streak_clock: h must be in [1, 62]");
+}
+
+bool streak_clock::on_interaction(bool initiator) {
+  if (initiator) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+    return false;
+  }
+  if (streak_ == h_) {
+    streak_ = 0;
+    return true;
+  }
+  return false;
+}
+
+double streak_clock::expected_interactions_per_tick(int h) {
+  expects(h >= 1 && h <= 62, "streak_clock: h must be in [1, 62]");
+  return std::ldexp(1.0, h + 1) - 2.0;
+}
+
+double streak_clock::expected_steps_per_tick(int h, double degree, double edges) {
+  expects(degree >= 1.0 && edges >= degree,
+          "streak_clock::expected_steps_per_tick: invalid degree/edges");
+  return expected_interactions_per_tick(h) * edges / degree;
+}
+
+std::uint64_t sample_streak_interactions(int h, rng& gen) {
+  expects(h >= 1 && h <= 62, "sample_streak_interactions: h must be in [1, 62]");
+  std::uint64_t flips = 0;
+  int run = 0;
+  while (run < h) {
+    ++flips;
+    if (gen.coin()) {
+      ++run;
+    } else {
+      run = 0;
+    }
+  }
+  return flips;
+}
+
+}  // namespace pp

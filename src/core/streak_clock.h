@@ -1,0 +1,49 @@
+// Local approximate clocks on graphs (§5.1).
+//
+// Each node keeps a streak counter in {0, ..., h}: being the initiator of an
+// interaction extends the streak, being the responder resets it, and a
+// streak of length h "completes" (the clock ticks) and resets.  Since the
+// scheduler assigns roles by a fair coin, the number K of interactions per
+// tick is the classic "h consecutive heads" waiting time:
+//   E[K] = 2^{h+1} - 2                                     (Lemma 27a)
+//   Geom(2^-h)  ⪯  K  ⪯  Geom(2^-(h+1)) + h                (Lemma 26)
+// and the number of scheduler steps X(d) for a degree-d node to tick
+// satisfies E[X(d)] = E[K]·m/d (Lemma 27b), so high-degree nodes tick at
+// rate ~Θ(1/B(G)) under the Theorem 24 parameter choice.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.h"
+
+namespace pp {
+
+// The per-node streak counter; h must be in [1, 62].
+class streak_clock {
+ public:
+  explicit streak_clock(int h);
+
+  int h() const { return h_; }
+  int streak() const { return streak_; }
+
+  // Records one interaction of the owning node; returns true iff the node
+  // completed a streak (the clock ticked).
+  bool on_interaction(bool initiator);
+
+  // E[K]: expected interactions per tick, 2^{h+1} - 2.
+  static double expected_interactions_per_tick(int h);
+
+  // E[X(d)]: expected scheduler steps per tick for a degree-d node in an
+  // m-edge graph (Lemma 27b).
+  static double expected_steps_per_tick(int h, double degree, double edges);
+
+ private:
+  int h_;
+  int streak_ = 0;
+};
+
+// Samples K directly: fair coin flips until h consecutive heads (used by the
+// Lemma 26-28 distribution tests and the clock bench).
+std::uint64_t sample_streak_interactions(int h, rng& gen);
+
+}  // namespace pp

@@ -1,0 +1,154 @@
+#include "dynamics/influence.h"
+
+#include <algorithm>
+
+#include "sched/scheduler.h"
+#include "support/expects.h"
+
+namespace pp {
+
+recorded_schedule record_schedule(const graph& g, std::uint64_t steps, rng gen) {
+  recorded_schedule sched;
+  sched.initiators.reserve(static_cast<std::size_t>(steps));
+  sched.responders.reserve(static_cast<std::size_t>(steps));
+  edge_scheduler source(g, gen);
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const interaction it = source.next();
+    sched.initiators.push_back(it.initiator);
+    sched.responders.push_back(it.responder);
+  }
+  return sched;
+}
+
+influence_stats influencers_of(const recorded_schedule& sched, node_id n, node_id v) {
+  expects(v >= 0 && v < n, "influencers_of: node out of range");
+  // J_0(v) = {v}; scanning the schedule from the last interaction backwards,
+  // an interaction joins J if it touches a current member.  This reverse
+  // process ends with exactly I_{t0}(v) (§7.1).
+  std::vector<bool> in_j(static_cast<std::size_t>(n), false);
+  in_j[static_cast<std::size_t>(v)] = true;
+
+  influence_stats stats;
+  stats.influencer_count = 1;
+  for (std::size_t i = sched.length(); i-- > 0;) {
+    const auto a = static_cast<std::size_t>(sched.initiators[i]);
+    const auto b = static_cast<std::size_t>(sched.responders[i]);
+    const bool a_in = in_j[a];
+    const bool b_in = in_j[b];
+    if (!a_in && !b_in) continue;
+    if (a_in && b_in) {
+      ++stats.internal_interactions;
+      continue;
+    }
+    if (!a_in) {
+      in_j[a] = true;
+      ++stats.influencer_count;
+    } else {
+      in_j[b] = true;
+      ++stats.influencer_count;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> first_interaction_steps(const recorded_schedule& sched,
+                                                   node_id n) {
+  std::vector<std::uint64_t> first(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < sched.length(); ++i) {
+    const auto a = static_cast<std::size_t>(sched.initiators[i]);
+    const auto b = static_cast<std::size_t>(sched.responders[i]);
+    if (first[a] == 0) first[a] = i + 1;
+    if (first[b] == 0) first[b] = i + 1;
+  }
+  return first;
+}
+
+std::size_t count_non_interacted(const std::vector<std::uint64_t>& first_step,
+                                 std::uint64_t t) {
+  std::size_t count = 0;
+  for (const std::uint64_t s : first_step) {
+    if (s == 0 || s > t) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> influencer_interaction_indices(
+    const recorded_schedule& sched, node_id n, node_id v) {
+  expects(v >= 0 && v < n, "influencer_interaction_indices: node out of range");
+  // Reverse scan: an interaction belongs to the multigraph iff it touches a
+  // node that is (at that point of the reverse scan) already an influencer.
+  std::vector<bool> in_j(static_cast<std::size_t>(n), false);
+  in_j[static_cast<std::size_t>(v)] = true;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = sched.length(); i-- > 0;) {
+    const auto a = static_cast<std::size_t>(sched.initiators[i]);
+    const auto b = static_cast<std::size_t>(sched.responders[i]);
+    if (!in_j[a] && !in_j[b]) continue;
+    in_j[a] = true;
+    in_j[b] = true;
+    indices.push_back(i);
+  }
+  std::reverse(indices.begin(), indices.end());
+  return indices;
+}
+
+std::vector<node_id> embed_tree_greedy(const graph& g,
+                                       const std::vector<bool>& allowed,
+                                       const graph& tree, node_id tree_root) {
+  expects(allowed.size() == static_cast<std::size_t>(g.num_nodes()),
+          "embed_tree_greedy: allowed mask size mismatch");
+  expects(tree_root >= 0 && tree_root < tree.num_nodes(),
+          "embed_tree_greedy: tree root out of range");
+
+  // BFS order of the tree with parents preceding children.
+  std::vector<node_id> order;
+  std::vector<node_id> parent(static_cast<std::size_t>(tree.num_nodes()), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(tree.num_nodes()), false);
+  order.push_back(tree_root);
+  seen[static_cast<std::size_t>(tree_root)] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const node_id u = order[i];
+    for (const node_id w : tree.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        parent[static_cast<std::size_t>(w)] = u;
+        order.push_back(w);
+      }
+    }
+  }
+  expects(order.size() == static_cast<std::size_t>(tree.num_nodes()),
+          "embed_tree_greedy: tree must be connected");
+
+  std::vector<node_id> image(static_cast<std::size_t>(tree.num_nodes()), -1);
+  std::vector<bool> used(static_cast<std::size_t>(g.num_nodes()), false);
+
+  // Root: any allowed node (deterministically, the first one).
+  node_id root_image = -1;
+  for (node_id v = 0; v < g.num_nodes(); ++v) {
+    if (allowed[static_cast<std::size_t>(v)]) {
+      root_image = v;
+      break;
+    }
+  }
+  if (root_image < 0) return {};
+  image[static_cast<std::size_t>(tree_root)] = root_image;
+  used[static_cast<std::size_t>(root_image)] = true;
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const node_id u = order[i];
+    const node_id p_image = image[static_cast<std::size_t>(parent[static_cast<std::size_t>(u)])];
+    node_id chosen = -1;
+    for (const node_id w : g.neighbors(p_image)) {
+      if (allowed[static_cast<std::size_t>(w)] && !used[static_cast<std::size_t>(w)]) {
+        chosen = w;
+        break;
+      }
+    }
+    if (chosen < 0) return {};
+    image[static_cast<std::size_t>(u)] = chosen;
+    used[static_cast<std::size_t>(chosen)] = true;
+  }
+  return image;
+}
+
+}  // namespace pp

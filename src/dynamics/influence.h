@@ -1,0 +1,91 @@
+// Influence sets and the lower-bound machinery of §7.1 (Lemmas 41, 42, 44).
+//
+// I_t(v) is the set of nodes whose initial state can have influenced v's
+// state by step t.  The surgery-style lower bound for dense random graphs
+// rests on three measurable facts, all reproduced here:
+//   * |I_t(v)| stays below n^ε for t <= c·n·log n            (Lemma 41),
+//   * many nodes have not interacted at all by such t        (Lemma 42),
+//   * the reverse influence process J_t(v) is almost tree-like: it contains
+//     O(log n) "internal" interactions                        (Lemma 44).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// A recorded prefix of a stochastic schedule (ordered interactions).
+struct recorded_schedule {
+  std::vector<std::int32_t> initiators;
+  std::vector<std::int32_t> responders;
+
+  std::size_t length() const { return initiators.size(); }
+};
+
+// Samples and records the first `steps` interactions of a schedule on g.
+recorded_schedule record_schedule(const graph& g, std::uint64_t steps, rng gen);
+
+// Statistics of the reverse influence process J_{t0}(v) (§7.1).
+struct influence_stats {
+  std::size_t influencer_count = 0;      // |I_{t0}(v)| = |J_{t0}(v)|
+  std::size_t internal_interactions = 0; // interactions with both nodes already in J
+};
+
+// Replays `sched` backwards to build J_{t0}(v) for node v, counting internal
+// interactions (those whose endpoints are both already influencers — the
+// interactions that make the multigraph of influencers non-tree-like).
+influence_stats influencers_of(const recorded_schedule& sched, node_id n, node_id v);
+
+// first_step[v] = scheduler step (1-based) of v's first interaction in
+// `sched`, or 0 if v never interacted.  The Lemma 42 survivor count at time t
+// is |{v : first_step[v] == 0 or first_step[v] > t}|.
+std::vector<std::uint64_t> first_interaction_steps(const recorded_schedule& sched,
+                                                   node_id n);
+
+// Number of nodes that have not interacted within the first t steps.
+std::size_t count_non_interacted(const std::vector<std::uint64_t>& first_step,
+                                 std::uint64_t t);
+
+// Indices (0-based, ascending) of the schedule's interactions that belong to
+// the multigraph of influencers I_{t0}(v) — the interactions that can affect
+// v's state by step t0 (§7.1).  Replaying exactly these interactions in
+// order reproduces v's state (see `replay_influencer_state` below); this is
+// the formal sense in which "given I_t(v), we can determine the state of
+// node v at time t".
+std::vector<std::size_t> influencer_interaction_indices(
+    const recorded_schedule& sched, node_id n, node_id v);
+
+// Replays only v's influencer interactions of `sched` under protocol P and
+// returns v's resulting state.  Equal, by construction of the multigraph of
+// influencers, to v's state after a full replay — differentially tested for
+// every protocol in the suite.
+template <typename P>
+typename P::state_type replay_influencer_state(const P& proto,
+                                               const recorded_schedule& sched,
+                                               node_id n, node_id v) {
+  std::vector<typename P::state_type> config(static_cast<std::size_t>(n));
+  for (node_id u = 0; u < n; ++u) {
+    config[static_cast<std::size_t>(u)] = proto.initial_state(u);
+  }
+  for (const std::size_t i : influencer_interaction_indices(sched, n, v)) {
+    proto.interact(config[static_cast<std::size_t>(sched.initiators[i])],
+                   config[static_cast<std::size_t>(sched.responders[i])]);
+  }
+  return config[static_cast<std::size_t>(v)];
+}
+
+// Lemma 43: greedily embeds `tree` into the subgraph of `g` induced by the
+// `allowed` nodes, mapping tree nodes in BFS order from `tree_root` and
+// attaching each to a fresh allowed neighbour of its parent's image — the
+// exact constructive argument of the lemma.  Returns the image of each tree
+// node, or an empty vector if the greedy embedding gets stuck (the lemma
+// shows it cannot for trees of size n^{ε+c} when `allowed` is the
+// non-interacted set of a dense graph at t <= c·n·log n).
+std::vector<node_id> embed_tree_greedy(const graph& g,
+                                       const std::vector<bool>& allowed,
+                                       const graph& tree, node_id tree_root = 0);
+
+}  // namespace pp

@@ -1,0 +1,220 @@
+#include "dynamics/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+std::vector<double> exact_classic_hitting_times(const graph& g, node_id target) {
+  const node_id n = g.num_nodes();
+  expects(target >= 0 && target < n, "exact_classic_hitting_times: target out of range");
+  expects(n >= 2, "exact_classic_hitting_times: need n >= 2");
+  expects(n <= 600, "exact_classic_hitting_times: dense solve limited to n <= 600");
+
+  // Unknowns: h(x) for x != target, equation h(x) - (1/deg x) Σ_{y~x} h(y) = 1
+  // with h(target) = 0.  Build the dense system and eliminate.
+  const node_id dim = n - 1;
+  auto index_of = [target](node_id v) { return v < target ? v : v - 1; };
+
+  std::vector<double> a(static_cast<std::size_t>(dim) * dim, 0.0);
+  std::vector<double> rhs(static_cast<std::size_t>(dim), 1.0);
+  auto at = [&](node_id r, node_id c) -> double& {
+    return a[static_cast<std::size_t>(r) * dim + c];
+  };
+
+  for (node_id v = 0; v < n; ++v) {
+    if (v == target) continue;
+    const node_id r = index_of(v);
+    at(r, r) = 1.0;
+    const double inv_deg = 1.0 / static_cast<double>(g.degree(v));
+    for (const node_id w : g.neighbors(v)) {
+      if (w == target) continue;
+      at(r, index_of(w)) -= inv_deg;
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (node_id col = 0; col < dim; ++col) {
+    node_id pivot = col;
+    for (node_id r = col + 1; r < dim; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    ensure(std::abs(at(pivot, col)) > 1e-12,
+           "exact_classic_hitting_times: singular system (graph disconnected?)");
+    if (pivot != col) {
+      for (node_id c = 0; c < dim; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(rhs[static_cast<std::size_t>(pivot)], rhs[static_cast<std::size_t>(col)]);
+    }
+    const double inv = 1.0 / at(col, col);
+    for (node_id r = col + 1; r < dim; ++r) {
+      const double factor = at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (node_id c = col; c < dim; ++c) at(r, c) -= factor * at(col, c);
+      rhs[static_cast<std::size_t>(r)] -= factor * rhs[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> sol(static_cast<std::size_t>(dim), 0.0);
+  for (node_id r = dim - 1; r >= 0; --r) {
+    double acc = rhs[static_cast<std::size_t>(r)];
+    for (node_id c = r + 1; c < dim; ++c) acc -= at(r, c) * sol[static_cast<std::size_t>(c)];
+    sol[static_cast<std::size_t>(r)] = acc / at(r, r);
+    if (r == 0) break;
+  }
+
+  std::vector<double> h(static_cast<std::size_t>(n), 0.0);
+  for (node_id v = 0; v < n; ++v) {
+    if (v != target) h[static_cast<std::size_t>(v)] = sol[static_cast<std::size_t>(index_of(v))];
+  }
+  return h;
+}
+
+double exact_worst_case_hitting_time(const graph& g) {
+  double worst = 0.0;
+  for (node_id target = 0; target < g.num_nodes(); ++target) {
+    const auto h = exact_classic_hitting_times(g, target);
+    worst = std::max(worst, *std::max_element(h.begin(), h.end()));
+  }
+  return worst;
+}
+
+namespace {
+
+node_id uniform_neighbor(const graph& g, node_id v, rng& gen) {
+  const auto nbrs = g.neighbors(v);
+  return nbrs[static_cast<std::size_t>(gen.uniform_below(nbrs.size()))];
+}
+
+}  // namespace
+
+std::uint64_t sample_classic_hitting_time(const graph& g, node_id start,
+                                          node_id target, rng& gen) {
+  expects(start >= 0 && start < g.num_nodes() && target >= 0 && target < g.num_nodes(),
+          "sample_classic_hitting_time: node out of range");
+  node_id pos = start;
+  std::uint64_t moves = 0;
+  while (pos != target) {
+    pos = uniform_neighbor(g, pos, gen);
+    ++moves;
+  }
+  return moves;
+}
+
+std::uint64_t sample_population_hitting_time(const graph& g, node_id start,
+                                             node_id target, rng& gen) {
+  expects(start >= 0 && start < g.num_nodes() && target >= 0 && target < g.num_nodes(),
+          "sample_population_hitting_time: node out of range");
+  const double m = static_cast<double>(g.num_edges());
+  node_id pos = start;
+  std::uint64_t steps = 0;
+  while (pos != target) {
+    // The walk moves exactly when one of its deg(pos) incident edges is
+    // sampled; the holding time is Geometric(deg/m) and the jump is uniform.
+    steps += gen.geometric(static_cast<double>(g.degree(pos)) / m);
+    pos = uniform_neighbor(g, pos, gen);
+  }
+  return steps;
+}
+
+std::uint64_t sample_population_meeting_time(const graph& g, node_id a,
+                                             node_id b, rng& gen) {
+  expects(a != b, "sample_population_meeting_time: walks must start apart");
+  expects(a >= 0 && a < g.num_nodes() && b >= 0 && b < g.num_nodes(),
+          "sample_population_meeting_time: node out of range");
+
+  const double m = static_cast<double>(g.num_edges());
+  node_id x = a;
+  node_id y = b;
+  std::uint64_t steps = 0;
+  for (;;) {
+    // Active edges: those incident to x or y.  The only edge incident to
+    // both is {x, y} itself (simple graph), counted once.
+    const bool adjacent = g.has_edge(x, y);
+    const std::uint64_t active = static_cast<std::uint64_t>(g.degree(x)) +
+                                 static_cast<std::uint64_t>(g.degree(y)) -
+                                 (adjacent ? 1 : 0);
+    steps += gen.geometric(static_cast<double>(active) / m);
+
+    const std::uint64_t pick = gen.uniform_below(active);
+    if (pick < static_cast<std::uint64_t>(g.degree(x))) {
+      const node_id w = g.neighbors(x)[static_cast<std::size_t>(pick)];
+      if (w == y) return steps;  // sampled edge {x, y}: the walks meet
+      x = w;
+    } else {
+      // Uniform among edges incident to y, excluding {x, y} when adjacent.
+      std::uint64_t idx = pick - static_cast<std::uint64_t>(g.degree(x));
+      const auto nbrs = g.neighbors(y);
+      if (adjacent) {
+        // Skip x's slot in y's (sorted) neighbour list.
+        const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), x);
+        const auto x_slot = static_cast<std::uint64_t>(it - nbrs.begin());
+        if (idx >= x_slot) ++idx;
+      }
+      y = nbrs[static_cast<std::size_t>(idx)];
+    }
+    // The walks can never co-locate: any move onto the other walk's node
+    // means the sampled edge was {x, y}, which is the meeting case above.
+    ensure(x != y, "sample_population_meeting_time: walks co-located");
+  }
+}
+
+std::uint64_t sample_classic_cover_time(const graph& g, node_id start, rng& gen) {
+  expects(start >= 0 && start < g.num_nodes(),
+          "sample_classic_cover_time: start out of range");
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_nodes()), false);
+  visited[static_cast<std::size_t>(start)] = true;
+  node_id remaining = g.num_nodes() - 1;
+  node_id pos = start;
+  std::uint64_t moves = 0;
+  while (remaining > 0) {
+    pos = uniform_neighbor(g, pos, gen);
+    ++moves;
+    if (!visited[static_cast<std::size_t>(pos)]) {
+      visited[static_cast<std::size_t>(pos)] = true;
+      --remaining;
+    }
+  }
+  return moves;
+}
+
+std::uint64_t sample_population_cover_time(const graph& g, node_id start, rng& gen) {
+  expects(start >= 0 && start < g.num_nodes(),
+          "sample_population_cover_time: start out of range");
+  const double m = static_cast<double>(g.num_edges());
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_nodes()), false);
+  visited[static_cast<std::size_t>(start)] = true;
+  node_id remaining = g.num_nodes() - 1;
+  node_id pos = start;
+  std::uint64_t steps = 0;
+  while (remaining > 0) {
+    steps += gen.geometric(static_cast<double>(g.degree(pos)) / m);
+    pos = uniform_neighbor(g, pos, gen);
+    if (!visited[static_cast<std::size_t>(pos)]) {
+      visited[static_cast<std::size_t>(pos)] = true;
+      --remaining;
+    }
+  }
+  return steps;
+}
+
+double estimate_worst_case_population_hitting_time(const graph& g, int pairs,
+                                                   int trials, rng gen) {
+  expects(pairs >= 1 && trials >= 1,
+          "estimate_worst_case_population_hitting_time: need positive budgets");
+  const node_id n = g.num_nodes();
+  double worst = 0.0;
+  for (int p = 0; p < pairs; ++p) {
+    const auto u = static_cast<node_id>(gen.uniform_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<node_id>(gen.uniform_below(static_cast<std::uint64_t>(n)));
+    if (v == u) v = static_cast<node_id>((v + 1) % n);
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      total += static_cast<double>(sample_population_hitting_time(g, u, v, gen));
+    }
+    worst = std::max(worst, total / trials);
+  }
+  return worst;
+}
+
+}  // namespace pp

@@ -1,0 +1,60 @@
+// Random walks in the population model and classic random walks (§4.1).
+//
+// A population-model walk sits at a node and moves to the other endpoint
+// whenever the scheduler samples an edge incident to it; since the scheduler
+// is uniform over edges, the jump chain is exactly the classic random walk,
+// with a Geometric(deg(v)/m) holding time in scheduler steps.  The paper's
+// Theorem 16 bounds the 6-state protocol through the worst-case classic
+// hitting time H(G) via H_P(G) <= 27 n H(G) (Lemma 17) and
+// M(u,v) <= 2 H_P(G) (Lemma 18); the simulators and exact solvers here
+// reproduce those quantities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// Expected classic hitting times E[steps to reach `target`] from every start
+// node, computed exactly by solving the linear system h(x) = 1 + avg over
+// neighbours (Gaussian elimination, O(n³); intended for n up to a few
+// hundred).  h(target) = 0.
+std::vector<double> exact_classic_hitting_times(const graph& g, node_id target);
+
+// Worst-case classic hitting time H(G) = max_{u,v} H(u, v), exact (solves n
+// systems; O(n⁴), keep n small).
+double exact_worst_case_hitting_time(const graph& g);
+
+// One sample of the classic hitting time (number of walk moves) from `start`
+// to `target`.
+std::uint64_t sample_classic_hitting_time(const graph& g, node_id start,
+                                          node_id target, rng& gen);
+
+// One sample of the population-model hitting time (number of scheduler
+// steps) from `start` to `target`; event-driven.
+std::uint64_t sample_population_hitting_time(const graph& g, node_id start,
+                                             node_id target, rng& gen);
+
+// One sample of the population-model meeting time of two walks started at
+// `a` and `b`: the first step whose sampled edge has the walks at its two
+// endpoints (§4.1).  Requires a != b.
+std::uint64_t sample_population_meeting_time(const graph& g, node_id a,
+                                             node_id b, rng& gen);
+
+// One sample of the classic cover time (walk moves until all nodes visited).
+std::uint64_t sample_classic_cover_time(const graph& g, node_id start, rng& gen);
+
+// One sample of the population-model cover time (scheduler steps until the
+// walk has visited every node); event-driven.  Lemma 19 bounds the time for
+// every walk to visit every node by O(H(G)·n·log n) steps.
+std::uint64_t sample_population_cover_time(const graph& g, node_id start, rng& gen);
+
+// Monte-Carlo estimate of the worst-case population hitting time
+// H_P(G) ~= max over `pairs` sampled (u,v) of the mean over `trials` runs.
+double estimate_worst_case_population_hitting_time(const graph& g, int pairs,
+                                                   int trials, rng gen);
+
+}  // namespace pp

@@ -1,0 +1,96 @@
+// Generators for every graph family the paper uses.
+//
+// Deterministic families: clique, path, cycle, star, complete bipartite,
+// binary tree, 2-d grid/torus, hypercube, barbell, lollipop.
+// Random families: Erdős–Rényi G(n,p) (§2.1), random regular graphs.
+// Lower-bound constructions: the renitent graphs of Lemma 38 (four copies of
+// a base graph joined into a ring by long paths) and the Theorem 39 family
+// realising any target complexity T(n) between n·log n and n³.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// Complete graph K_n (the classic population-protocols setting), n >= 2.
+graph make_clique(node_id n);
+
+// Path v0 - v1 - ... - v_{n-1}, n >= 2.
+graph make_path(node_id n);
+
+// Cycle on n nodes, n >= 3.  Ω(n²)-renitent (Lemma 37).
+graph make_cycle(node_id n);
+
+// Star: node 0 is the centre, nodes 1..n-1 are leaves, n >= 2.  Leader
+// election is O(1) on stars (Table 1) while broadcast is Θ(n log n).
+graph make_star(node_id n);
+
+// Complete bipartite graph K_{a,b}: nodes [0,a) on one side, [a,a+b) on the
+// other.
+graph make_complete_bipartite(node_id a, node_id b);
+
+// Complete binary tree on n nodes (heap numbering), n >= 2.
+graph make_binary_tree(node_id n);
+
+// rows x cols grid; `torus` wraps both dimensions (requires the wrapped
+// dimension >= 3 to stay simple).  A √n x √n torus is a standard
+// Θ(n^{1+1/2})-renitent 2-dimensional example.
+graph make_grid_2d(node_id rows, node_id cols, bool torus);
+
+// 3-d torus on side³ nodes (side >= 3): the k = 3 case of the paper's
+// remark (§6.2) that k-dimensional toroidal grids are Ω(n^{1+1/k})-renitent.
+graph make_grid_3d(node_id side);
+
+// Hypercube on 2^dim nodes, dim >= 1.
+graph make_hypercube(int dim);
+
+// Two cliques K_k joined by a path with `bridge_len` intermediate nodes
+// (bridge_len == 0 joins them by a single edge).  Low-conductance example.
+graph make_barbell(node_id k, node_id bridge_len);
+
+// Lollipop: clique K_k with a path of `tail_len` nodes attached.  Classic
+// worst case for random-walk hitting times (H(G) = Θ(n³)).
+graph make_lollipop(node_id k, node_id tail_len);
+
+// Erdős–Rényi G(n,p): each of the n(n-1)/2 possible edges present
+// independently with probability p.
+graph make_erdos_renyi(node_id n, double p, rng& gen);
+
+// G(n,p) conditioned on connectivity: resamples until connected (throws
+// after `max_attempts` failures, so callers notice vanishing-probability
+// parameter choices instead of hanging).
+graph make_connected_erdos_renyi(node_id n, double p, rng& gen,
+                                 int max_attempts = 1000);
+
+// Random d-regular graph via the configuration model with rejection of
+// self-loops/multi-edges (retries until simple; requires n*d even, d < n).
+graph make_random_regular(node_id n, node_id d, rng& gen, int max_attempts = 2000);
+
+// The renitent construction of Lemma 38: four disjoint copies of `base` whose
+// distinguished node `anchor` is joined into a 4-ring by paths of length
+// 2*ell (i.e. 2*ell - 1 fresh internal nodes per path).  The result has
+// Θ(n) + 8ℓ nodes, Θ(m) + 8ℓ edges, diameter Θ(ℓ + D) and both B(G) and the
+// leader-election time are Θ(ℓ·m).
+graph make_renitent(const graph& base, node_id anchor, node_id ell);
+
+// Parameters chosen by `theorem39_graph` (exposed for reporting and tests).
+struct theorem39_spec {
+  bool clique_base = false;  // true: clique base, false: star-plus-edges base
+  node_id base_size = 0;     // N in the paper's construction
+  node_id ell = 0;           // half path length parameter of Lemma 38
+  std::int64_t extra_edges = 0;  // only for the star-based case
+};
+
+// The Theorem 39 family: given a target complexity function T with
+// N log N <= T(N) <= N³, constructs a graph on Θ(N) nodes in which both
+// broadcast time and stable leader election take Θ(T(N)) expected steps.
+// For T ∈ ω(N² log N) the base is a clique with ℓ = T/N²; otherwise the base
+// is a star plus Θ(T/ℓ) random extra edges with ℓ = log N + T/(N log N).
+graph theorem39_graph(node_id n, const std::function<double(double)>& target,
+                      rng& gen, theorem39_spec* spec_out = nullptr);
+
+}  // namespace pp

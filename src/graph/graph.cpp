@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/expects.h"
+
+namespace pp {
+
+graph graph::from_edges(node_id n, const std::vector<edge>& raw) {
+  expects(n >= 1, "graph: need at least one node");
+
+  std::vector<edge> edges;
+  edges.reserve(raw.size());
+  for (const edge& e : raw) {
+    expects(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+            "graph: edge endpoint out of range");
+    expects(e.u != e.v, "graph: self-loops are not allowed");
+    edges.push_back(e.u < e.v ? e : edge{e.v, e.u});
+  }
+  std::sort(edges.begin(), edges.end(), [](const edge& a, const edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  graph g;
+  g.n_ = n;
+  g.edges_ = std::move(edges);
+
+  std::vector<node_id> degree(n, 0);
+  for (const edge& e : g.edges_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+
+  g.row_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (node_id v = 0; v < n; ++v) {
+    g.row_offsets_[static_cast<std::size_t>(v) + 1] =
+        g.row_offsets_[v] + degree[v];
+  }
+
+  const auto two_m = static_cast<std::size_t>(2 * g.num_edges());
+  g.adjacency_.resize(two_m);
+  g.incident_ids_.resize(two_m);
+  std::vector<std::int64_t> cursor(g.row_offsets_.begin(), g.row_offsets_.end() - 1);
+  for (std::size_t id = 0; id < g.edges_.size(); ++id) {
+    const edge& e = g.edges_[id];
+    g.adjacency_[static_cast<std::size_t>(cursor[e.u])] = e.v;
+    g.incident_ids_[static_cast<std::size_t>(cursor[e.u]++)] =
+        static_cast<std::int64_t>(id);
+    g.adjacency_[static_cast<std::size_t>(cursor[e.v])] = e.u;
+    g.incident_ids_[static_cast<std::size_t>(cursor[e.v]++)] =
+        static_cast<std::int64_t>(id);
+  }
+
+  // Adjacency built from a lexicographically sorted edge list is sorted for
+  // the `u` side but interleaved for the `v` side; sort each row (with its
+  // incident edge ids carried along).
+  for (node_id v = 0; v < n; ++v) {
+    const auto begin = static_cast<std::size_t>(g.row_offsets_[v]);
+    const auto end = static_cast<std::size_t>(g.row_offsets_[v + 1]);
+    std::vector<std::pair<node_id, std::int64_t>> row;
+    row.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      row.emplace_back(g.adjacency_[i], g.incident_ids_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = begin; i < end; ++i) {
+      g.adjacency_[i] = row[i - begin].first;
+      g.incident_ids_[i] = row[i - begin].second;
+    }
+  }
+
+  if (n > 0) {
+    g.max_degree_ = *std::max_element(degree.begin(), degree.end());
+    g.min_degree_ = *std::min_element(degree.begin(), degree.end());
+  }
+  return g;
+}
+
+std::span<const node_id> graph::neighbors(node_id v) const {
+  expects(v >= 0 && v < n_, "graph::neighbors: node out of range");
+  const auto begin = static_cast<std::size_t>(row_offsets_[v]);
+  const auto end = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(v) + 1]);
+  return {adjacency_.data() + begin, end - begin};
+}
+
+node_id graph::degree(node_id v) const {
+  expects(v >= 0 && v < n_, "graph::degree: node out of range");
+  return static_cast<node_id>(row_offsets_[static_cast<std::size_t>(v) + 1] -
+                              row_offsets_[v]);
+}
+
+bool graph::has_edge(node_id u, node_id v) const {
+  return edge_index(u, v) >= 0;
+}
+
+std::int64_t graph::edge_index(node_id u, node_id v) const {
+  expects(u >= 0 && u < n_ && v >= 0 && v < n_, "graph::edge_index: node out of range");
+  if (u == v) return -1;
+  const auto nb = neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return -1;
+  const auto slot = static_cast<std::size_t>(row_offsets_[u] + (it - nb.begin()));
+  return incident_ids_[slot];
+}
+
+std::span<const std::int64_t> graph::incident_edge_ids(node_id v) const {
+  expects(v >= 0 && v < n_, "graph::incident_edge_ids: node out of range");
+  const auto begin = static_cast<std::size_t>(row_offsets_[v]);
+  const auto end = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(v) + 1]);
+  return {incident_ids_.data() + begin, end - begin};
+}
+
+}  // namespace pp

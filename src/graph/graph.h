@@ -1,0 +1,70 @@
+// Immutable simple undirected graph in compressed sparse row form.
+//
+// This is the interaction graph G = (V, E) of the population model (§2.1 of
+// the paper): finite, simple and — for every protocol we run — connected.
+// Nodes are dense integers [0, n).  The edge list is stored once (u < v) for
+// the scheduler, and adjacency is stored sorted per node so membership tests
+// are O(log deg).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp {
+
+using node_id = std::int32_t;
+
+// An undirected edge with endpoints normalised to u < v.
+struct edge {
+  node_id u = 0;
+  node_id v = 0;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+class graph {
+ public:
+  // Builds a graph on `n` nodes from an edge list.  Self-loops are rejected;
+  // duplicate edges (in either orientation) are collapsed.  Endpoints must be
+  // in [0, n).
+  static graph from_edges(node_id n, const std::vector<edge>& edges);
+
+  graph() = default;
+
+  node_id num_nodes() const { return n_; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+
+  // Neighbours of `v`, sorted ascending.
+  std::span<const node_id> neighbors(node_id v) const;
+
+  node_id degree(node_id v) const;
+  node_id max_degree() const { return max_degree_; }
+  node_id min_degree() const { return min_degree_; }
+
+  // All edges, normalised u < v, sorted lexicographically.  Index into this
+  // vector is the canonical edge id used by the scheduler and the dynamics.
+  const std::vector<edge>& edges() const { return edges_; }
+
+  // True iff {u, v} is an edge (u != v).  O(log deg).
+  bool has_edge(node_id u, node_id v) const;
+
+  // Index of edge {u,v} in edges(), or -1 if absent.
+  std::int64_t edge_index(node_id u, node_id v) const;
+
+  // Edge ids incident to `v`, aligned with neighbors(v).
+  std::span<const std::int64_t> incident_edge_ids(node_id v) const;
+
+ private:
+  node_id n_ = 0;
+  node_id max_degree_ = 0;
+  node_id min_degree_ = 0;
+  std::vector<edge> edges_;
+  std::vector<std::int64_t> row_offsets_;   // size n+1
+  std::vector<node_id> adjacency_;          // size 2m, sorted per node
+  std::vector<std::int64_t> incident_ids_;  // size 2m, edge id per adjacency slot
+};
+
+}  // namespace pp

@@ -1,0 +1,80 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/expects.h"
+
+namespace pp {
+
+void write_edge_list(std::ostream& out, const graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+graph read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  expects(next_content_line(), "read_edge_list: missing header line");
+  std::istringstream header(line);
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  expects(static_cast<bool>(header >> n >> m), "read_edge_list: malformed header");
+  expects(n >= 1 && m >= 0, "read_edge_list: invalid node/edge counts");
+
+  std::vector<edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    expects(next_content_line(), "read_edge_list: truncated edge list");
+    std::istringstream row(line);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    expects(static_cast<bool>(row >> u >> v), "read_edge_list: malformed edge line");
+    expects(u >= 0 && u < n && v >= 0 && v < n && u != v,
+            "read_edge_list: edge endpoint out of range");
+    edges.push_back({static_cast<node_id>(u), static_cast<node_id>(v)});
+  }
+  return graph::from_edges(static_cast<node_id>(n), edges);
+}
+
+std::string to_edge_list_string(const graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+graph from_edge_list_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const graph& g, const std::vector<bool>& leaders) {
+  expects(leaders.empty() ||
+              leaders.size() == static_cast<std::size_t>(g.num_nodes()),
+          "to_dot: leader flags must be empty or one per node");
+  std::ostringstream out;
+  out << "graph population {\n  node [shape=circle];\n";
+  if (!leaders.empty()) {
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+      if (leaders[static_cast<std::size_t>(v)]) {
+        out << "  " << v << " [shape=doublecircle];\n";
+      }
+    }
+  }
+  for (const edge& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pp

@@ -1,0 +1,34 @@
+// Plain-text serialisation of interaction graphs.
+//
+// Edge-list format (round-trippable):
+//   line 1:  "n m"
+//   then m lines "u v" with 0 <= u < v < n.
+// Comments (# ...) and blank lines are ignored on input.
+//
+// DOT output renders the graph for graphviz; node labels can carry the
+// election outcome (leader double circle) for figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pp {
+
+// Writes the edge-list representation.
+void write_edge_list(std::ostream& out, const graph& g);
+
+// Parses an edge-list; throws std::invalid_argument on malformed input.
+graph read_edge_list(std::istream& in);
+
+// Round-trip through strings (convenience for tests and tools).
+std::string to_edge_list_string(const graph& g);
+graph from_edge_list_string(const std::string& text);
+
+// Graphviz DOT output.  If `leaders` is non-empty it must have one flag per
+// node; flagged nodes (elected leaders) are drawn as double circles.
+std::string to_dot(const graph& g, const std::vector<bool>& leaders = {});
+
+}  // namespace pp

@@ -1,0 +1,156 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/expects.h"
+
+namespace pp {
+
+std::vector<std::int32_t> bfs_distances(const graph& g, node_id source) {
+  expects(source >= 0 && source < g.num_nodes(), "bfs_distances: source out of range");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), unreachable);
+  std::vector<node_id> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::int32_t level = 0;
+  std::vector<node_id> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const node_id u : frontier) {
+      for (const node_id v : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] == unreachable) {
+          dist[static_cast<std::size_t>(v)] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool is_connected(const graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d == unreachable; });
+}
+
+std::int32_t eccentricity(const graph& g, node_id v) {
+  const auto dist = bfs_distances(g, v);
+  std::int32_t ecc = 0;
+  for (const std::int32_t d : dist) {
+    expects(d != unreachable, "eccentricity: graph must be connected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t diameter(const graph& g) {
+  std::int32_t best = 0;
+  for (node_id v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+std::int32_t diameter_lower_bound(const graph& g, int samples, rng& gen) {
+  expects(samples >= 1, "diameter_lower_bound: need samples >= 1");
+  std::int32_t best = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto root = static_cast<node_id>(
+        gen.uniform_below(static_cast<std::uint64_t>(g.num_nodes())));
+    // Double sweep: BFS from a random root, then BFS again from the farthest
+    // node found; the second eccentricity lower-bounds the diameter.
+    const auto dist = bfs_distances(g, root);
+    node_id far = root;
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+      expects(dist[static_cast<std::size_t>(v)] != unreachable,
+              "diameter_lower_bound: graph must be connected");
+      if (dist[static_cast<std::size_t>(v)] > dist[static_cast<std::size_t>(far)]) far = v;
+    }
+    best = std::max(best, eccentricity(g, far));
+  }
+  return best;
+}
+
+std::int64_t edge_boundary(const graph& g, const std::vector<bool>& in_set) {
+  expects(in_set.size() == static_cast<std::size_t>(g.num_nodes()),
+          "edge_boundary: set size must equal node count");
+  std::int64_t boundary = 0;
+  for (const edge& e : g.edges()) {
+    if (in_set[static_cast<std::size_t>(e.u)] != in_set[static_cast<std::size_t>(e.v)]) {
+      ++boundary;
+    }
+  }
+  return boundary;
+}
+
+double edge_expansion_exact(const graph& g) {
+  const node_id n = g.num_nodes();
+  expects(n >= 2 && n <= 24, "edge_expansion_exact: requires 2 <= n <= 24");
+  // Count boundary edges per subset via bitmask enumeration.
+  const std::uint32_t limit = 1u << n;
+  double best = static_cast<double>(g.num_edges());
+  for (std::uint32_t mask = 1; mask + 1 < limit; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > n / 2) continue;
+    std::int64_t boundary = 0;
+    for (const edge& e : g.edges()) {
+      const bool in_u = (mask >> e.u) & 1u;
+      const bool in_v = (mask >> e.v) & 1u;
+      if (in_u != in_v) ++boundary;
+    }
+    best = std::min(best, static_cast<double>(boundary) / size);
+  }
+  return best;
+}
+
+double edge_expansion_sweep(const graph& g, int samples, rng& gen) {
+  expects(samples >= 1, "edge_expansion_sweep: need samples >= 1");
+  const node_id n = g.num_nodes();
+  expects(n >= 2, "edge_expansion_sweep: need n >= 2");
+
+  double best = static_cast<double>(g.num_edges());
+  std::vector<bool> in_set(static_cast<std::size_t>(n), false);
+  std::vector<std::int64_t> degree_in(static_cast<std::size_t>(n), 0);
+
+  for (int s = 0; s < samples; ++s) {
+    const auto root = static_cast<node_id>(
+        gen.uniform_below(static_cast<std::uint64_t>(n)));
+    // Grow a BFS ball; after adding each node, the cut can be maintained
+    // incrementally: adding v flips deg(v) - 2·(edges from v into the set).
+    std::fill(in_set.begin(), in_set.end(), false);
+    const auto dist = bfs_distances(g, root);
+    std::vector<node_id> order(static_cast<std::size_t>(n));
+    for (node_id v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+    std::sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+      return dist[static_cast<std::size_t>(a)] < dist[static_cast<std::size_t>(b)];
+    });
+
+    std::int64_t cut = 0;
+    for (node_id i = 0; i < n; ++i) {
+      const node_id v = order[static_cast<std::size_t>(i)];
+      std::int64_t inside = 0;
+      for (const node_id w : g.neighbors(v)) {
+        if (in_set[static_cast<std::size_t>(w)]) ++inside;
+      }
+      in_set[static_cast<std::size_t>(v)] = true;
+      cut += g.degree(v) - 2 * inside;
+      const std::int64_t size = i + 1;
+      if (size >= 1 && size <= n / 2) {
+        best = std::min(best, static_cast<double>(cut) / static_cast<double>(size));
+      }
+    }
+  }
+  return best;
+}
+
+double conductance_from_expansion(const graph& g, double beta) {
+  expects(g.max_degree() > 0, "conductance_from_expansion: graph has no edges");
+  return beta / static_cast<double>(g.max_degree());
+}
+
+}  // namespace pp

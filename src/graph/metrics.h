@@ -1,0 +1,46 @@
+// Structural graph metrics used by the paper's bounds (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// Unreachable marker in BFS distance vectors.
+inline constexpr std::int32_t unreachable = -1;
+
+// Single-source BFS distances; `unreachable` for nodes in other components.
+std::vector<std::int32_t> bfs_distances(const graph& g, node_id source);
+
+// True iff the graph is connected (n == 1 counts as connected).
+bool is_connected(const graph& g);
+
+// Eccentricity of `v`: max distance to any node.  Requires connectivity.
+std::int32_t eccentricity(const graph& g, node_id v);
+
+// Exact diameter via all-sources BFS, O(n·m).  Requires connectivity.
+std::int32_t diameter(const graph& g);
+
+// Lower bound on the diameter from `samples` random double-sweep BFS probes;
+// exact on trees and usually exact in practice.  Requires connectivity.
+std::int32_t diameter_lower_bound(const graph& g, int samples, rng& gen);
+
+// Number of edges with exactly one endpoint in `in_set` (|∂S| in the paper).
+std::int64_t edge_boundary(const graph& g, const std::vector<bool>& in_set);
+
+// Exact edge expansion β(G) = min_{0<|S|<=n/2} |∂S|/|S| by exhaustive subset
+// enumeration.  Only feasible for small graphs; requires n <= 24.
+double edge_expansion_exact(const graph& g);
+
+// Heuristic upper bound on β(G) from BFS sweep cuts (every radius-r ball from
+// `samples` random roots plus balanced halves).  Always >= β(G); tight on the
+// families we use it for (cycles, grids, barbells).
+double edge_expansion_sweep(const graph& g, int samples, rng& gen);
+
+// Conductance-style quantity for regular graphs: φ = β/Δ (the paper's φ).
+double conductance_from_expansion(const graph& g, double beta);
+
+}  // namespace pp

@@ -1,0 +1,23 @@
+#include "sched/scheduler.h"
+
+#include "support/expects.h"
+
+namespace pp {
+
+edge_scheduler::edge_scheduler(const graph& g, rng gen)
+    : graph_(&g), gen_(gen) {
+  expects(g.num_edges() >= 1, "edge_scheduler: graph must have at least one edge");
+}
+
+interaction edge_scheduler::next() {
+  ++steps_;
+  const auto m = static_cast<std::uint64_t>(graph_->num_edges());
+  // One draw picks both the edge and the orientation: ids in [0, m) keep the
+  // stored orientation, ids in [m, 2m) flip it.
+  const std::uint64_t pick = gen_.uniform_below(2 * m);
+  const edge& e = graph_->edges()[static_cast<std::size_t>(pick % m)];
+  if (pick < m) return {e.u, e.v};
+  return {e.v, e.u};
+}
+
+}  // namespace pp

@@ -1,0 +1,54 @@
+// The stochastic scheduler of the population model (§1.1, §2.2).
+//
+// In every discrete step the scheduler samples an *ordered* pair (u, v)
+// uniformly at random among the 2m pairs of nodes joined by an edge; u is the
+// initiator, v the responder.  `edge_scheduler` produces exactly this
+// distribution.  It also exposes geometric skip-sampling, which lets
+// event-driven dynamics advance the step counter past irrelevant
+// interactions without changing the distribution of anything observable
+// (each step is i.i.d., so the wait for the next "active" step is geometric).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace pp {
+
+// An ordered interaction: `initiator` contacted `responder`.
+struct interaction {
+  node_id initiator = 0;
+  node_id responder = 0;
+};
+
+class edge_scheduler {
+ public:
+  // The scheduler borrows `g`, which must outlive it, and owns its generator.
+  edge_scheduler(const graph& g, rng gen);
+
+  // Samples the next interaction and advances the step counter by one.
+  interaction next();
+
+  // Number of steps sampled so far (the paper's time t).
+  std::uint64_t steps() const { return steps_; }
+
+  // Advances the step counter by `k` without sampling (used by event-driven
+  // simulations after a geometric skip).
+  void skip(std::uint64_t k) { steps_ += k; }
+
+  // Samples Geometric(p): the number of additional steps up to and including
+  // the first success of a per-step Bernoulli(p) event.  Does not advance the
+  // counter; callers skip() by the returned amount.
+  std::uint64_t geometric_steps(double p) { return gen_.geometric(p); }
+
+  rng& generator() { return gen_; }
+  const graph& interaction_graph() const { return *graph_; }
+
+ private:
+  const graph* graph_;
+  rng gen_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace pp

@@ -1,0 +1,24 @@
+// Precondition and invariant checking helpers.
+//
+// `expects` guards public-interface preconditions and throws
+// std::invalid_argument so that misuse is reported to the caller;
+// `ensure` guards internal invariants and throws std::logic_error,
+// signalling a bug in this library rather than in the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pp {
+
+// Throw std::invalid_argument with `what` unless `condition` holds.
+inline void expects(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+
+// Throw std::logic_error with `what` unless `condition` holds.
+inline void ensure(bool condition, const std::string& what) {
+  if (!condition) throw std::logic_error(what);
+}
+
+}  // namespace pp

@@ -1,0 +1,58 @@
+#include "support/fit.h"
+
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  expects(x.size() == y.size(), "fit_linear: x and y must have equal length");
+  expects(x.size() >= 2, "fit_linear: need at least two points");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  expects(sxx > 0.0, "fit_linear: x values must not all be equal");
+
+  linear_fit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    fit.r_squared = 1.0;  // y constant and perfectly explained
+  }
+  return fit;
+}
+
+linear_fit fit_loglog(const std::vector<double>& x, const std::vector<double>& y) {
+  expects(x.size() == y.size(), "fit_loglog: x and y must have equal length");
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expects(x[i] > 0.0 && y[i] > 0.0, "fit_loglog: inputs must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace pp

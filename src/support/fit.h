@@ -1,0 +1,28 @@
+// Least-squares fits used to estimate empirical scaling exponents.
+//
+// All of the paper's bounds are of the form T(n) = Θ(n^a · log^b n).  The
+// benches estimate the exponent `a` by ordinary least squares on
+// (log n, log T) pairs; a fit with slope ≈ a and high R² is evidence that
+// the measured complexity has the predicted polynomial order.
+#pragma once
+
+#include <vector>
+
+namespace pp {
+
+// Result of a simple linear regression y = slope * x + intercept.
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination, in [0, 1]
+};
+
+// Ordinary least squares on (x, y) pairs.  Requires at least two points and
+// non-constant x.
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+// Fits log(y) = slope * log(x) + intercept, i.e. estimates the exponent of a
+// power law y ≈ C·x^slope.  Requires strictly positive inputs.
+linear_fit fit_loglog(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace pp

@@ -1,0 +1,24 @@
+// Deterministic multithreaded trial execution.
+//
+// Experiments consist of many independent trials; `parallel_for` distributes
+// indices across a fixed number of worker threads.  Determinism is preserved
+// because each trial derives its own RNG from (seed, trial index), never from
+// thread identity or scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pp {
+
+// Number of hardware threads, at least 1.
+std::size_t hardware_threads();
+
+// Invokes body(i) for every i in [0, count), distributing the indices over at
+// most `threads` worker threads (0 means hardware_threads()).  Exceptions
+// thrown by `body` are rethrown on the calling thread (the first one wins).
+// The body must be safe to call concurrently for distinct indices.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace pp

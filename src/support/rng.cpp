@@ -1,0 +1,95 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+rng::result_type rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+rng rng::fork(std::uint64_t index) const {
+  // Mix the current state with the stream index through splitmix64 so that
+  // forked streams do not overlap with the parent or with each other.
+  std::uint64_t s = state_[0] ^ rotl(state_[3], 13) ^ (index * 0xd1342543de82ef95ull);
+  std::uint64_t seed = splitmix64(s);
+  return rng(seed ^ splitmix64(s));
+}
+
+std::uint64_t rng::uniform_below(std::uint64_t bound) {
+  expects(bound >= 1, "rng::uniform_below: bound must be >= 1");
+  // Lemire's method: take the high 64 bits of a 128-bit product, rejecting
+  // the small biased region.
+  std::uint64_t x = operator()();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = operator()();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "rng::uniform_int: lo must be <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double rng::uniform01() {
+  // 53 random bits into the mantissa: uniform on [0, 1).
+  return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) {
+  expects(p >= 0.0 && p <= 1.0, "rng::bernoulli: p must be in [0, 1]");
+  return uniform01() < p;
+}
+
+std::uint64_t rng::geometric(double p) {
+  expects(p > 0.0 && p <= 1.0, "rng::geometric: p must be in (0, 1]");
+  if (p == 1.0) return 1;
+  // Inversion: ceil(log(U) / log(1-p)) with U ~ Uniform(0,1].
+  const double u = 1.0 - uniform01();  // in (0, 1]
+  const double draws = std::ceil(std::log(u) / std::log1p(-p));
+  if (draws < 1.0) return 1;
+  // Clamp astronomically unlikely overflows instead of wrapping.
+  if (draws >= 9.2e18) return std::numeric_limits<std::uint64_t>::max() / 2;
+  return static_cast<std::uint64_t>(draws);
+}
+
+}  // namespace pp

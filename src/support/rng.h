@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library draw from `pp::rng`, a
+// xoshiro256** generator seeded through splitmix64.  Experiments derive
+// per-trial generators with `rng::fork`, so a single 64-bit seed makes any
+// run — including multithreaded parameter sweeps — bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pp {
+
+// splitmix64 step: used for seeding and for deriving independent streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// xoshiro256** 1.0 (Blackman & Vigna), a small, fast, high-quality PRNG.
+//
+// Satisfies std::uniform_random_bit_generator so it can also be used with
+// <random> distributions, although the member helpers below avoid the
+// distribution objects in hot loops.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four words of state from `seed` via splitmix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  // Next 64 uniformly random bits.
+  result_type operator()();
+
+  // Derives an independent generator for substream `index`.  Streams with
+  // different (seed, index) pairs are statistically independent for all
+  // practical purposes.
+  rng fork(std::uint64_t index) const;
+
+  // Uniform integer in [0, bound), bound >= 1.  Uses Lemire's multiply-shift
+  // rejection method (unbiased).
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Bernoulli(p) trial.
+  bool bernoulli(double p);
+
+  // Fair coin flip.
+  bool coin() { return (operator()() >> 63) != 0; }
+
+  // Number of Bernoulli(p) trials up to and including the first success,
+  // i.e. a Geometric(p) variable supported on {1, 2, ...}.  p must be in
+  // (0, 1].  Sampled by inversion, so a single uniform draw suffices.
+  std::uint64_t geometric(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace pp

@@ -1,0 +1,80 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expects.h"
+
+namespace pp {
+
+void running_stats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::mean() const {
+  expects(count_ > 0, "running_stats::mean: no observations");
+  return mean_;
+}
+
+double running_stats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::min() const {
+  expects(count_ > 0, "running_stats::min: no observations");
+  return min_;
+}
+
+double running_stats::max() const {
+  expects(count_ > 0, "running_stats::max: no observations");
+  return max_;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  expects(!sorted.empty(), "quantile_sorted: empty sample");
+  expects(q >= 0.0 && q <= 1.0, "quantile_sorted: q must be in [0, 1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+sample_summary summarize(const std::vector<double>& values) {
+  expects(!values.empty(), "summarize: empty sample");
+  running_stats acc;
+  for (double v : values) acc.add(v);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  sample_summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q10 = quantile_sorted(sorted, 0.1);
+  s.q90 = quantile_sorted(sorted, 0.9);
+  if (s.count >= 2) {
+    s.ci95_halfwidth = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+}  // namespace pp

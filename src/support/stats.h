@@ -1,0 +1,51 @@
+// Descriptive statistics for Monte-Carlo experiment results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pp {
+
+// Single-pass accumulator for mean and variance (Welford's algorithm).
+class running_stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Summary of a sample: moments, extremes and selected quantiles.
+struct sample_summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q10 = 0.0;   // 10th percentile
+  double q90 = 0.0;   // 90th percentile
+  // Half-width of the normal-approximation 95% confidence interval for the
+  // mean; 0 for samples of size < 2.
+  double ci95_halfwidth = 0.0;
+};
+
+// Computes a sample_summary.  The input is copied and sorted internally.
+sample_summary summarize(const std::vector<double>& values);
+
+// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace pp

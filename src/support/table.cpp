@@ -1,0 +1,90 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/expects.h"
+
+namespace pp {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == 'e' ||
+          c == 'E' || c == '+' || c == '-' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  expects(!header_.empty(), "text_table: header must be non-empty");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() <= header_.size(),
+          "text_table::add_row: more cells than header columns");
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << (c + 1 < row.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_number(double v, int digits) {
+  if (!std::isfinite(v)) return "inf";
+  char buf[64];
+  const double mag = std::abs(v);
+  if (v == std::floor(v) && mag < 1e15 && mag >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (mag != 0.0 && (mag >= 1e7 || mag < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  }
+  return buf;
+}
+
+}  // namespace pp

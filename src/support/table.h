@@ -1,0 +1,33 @@
+// Minimal column-aligned ASCII table renderer for bench/report output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pp {
+
+// Accumulates rows of string cells and renders them with aligned columns.
+// Numeric-looking cells are right-aligned, all others left-aligned.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  // Appends a row; it may have fewer cells than the header (missing cells
+  // render empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the table with a separator line under the header.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `v` with `digits` significant digits (plain or scientific,
+// whichever is shorter and readable).
+std::string format_number(double v, int digits = 4);
+
+}  // namespace pp

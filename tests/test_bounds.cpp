@@ -1,0 +1,86 @@
+#include "analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pp {
+namespace {
+
+TEST(Bounds, BroadcastUpperDiameter) {
+  // m·max{6 ln n, D} + 2 with D dominating.
+  EXPECT_DOUBLE_EQ(bounds::broadcast_upper_diameter(10, 4, 100), 1002.0);
+  // 6 ln n dominating.
+  EXPECT_NEAR(bounds::broadcast_upper_diameter(10, 1000, 1),
+              10 * 6 * std::log(1000.0) + 2, 1e-9);
+}
+
+TEST(Bounds, BroadcastUpperExpansion) {
+  EXPECT_NEAR(bounds::broadcast_upper_expansion(100, 64, 2.0),
+              4.0 * 50.0 * std::log(64.0), 1e-9);
+}
+
+TEST(Bounds, BroadcastLower) {
+  EXPECT_NEAR(bounds::broadcast_lower(100, 4, 65), 25.0 * std::log(64.0), 1e-9);
+}
+
+TEST(Bounds, BoundedDegreeShape) {
+  EXPECT_DOUBLE_EQ(bounds::broadcast_shape_bounded_degree(64, 32), 64.0 * 32.0);
+  EXPECT_DOUBLE_EQ(bounds::broadcast_shape_bounded_degree(64, 3), 64.0 * 6.0);
+}
+
+TEST(Bounds, HittingAndMeetingChain) {
+  EXPECT_DOUBLE_EQ(bounds::population_hitting_upper(10, 7), 1890.0);
+  EXPECT_DOUBLE_EQ(bounds::meeting_upper(50), 100.0);
+  EXPECT_DOUBLE_EQ(bounds::theorem16_shape(4, 8), 4.0 * 8.0 * 3.0);
+}
+
+TEST(Bounds, Theorem21Shapes) {
+  EXPECT_DOUBLE_EQ(bounds::theorem21_shape(100, 8), 100.0 + 24.0);
+  EXPECT_EQ(bounds::theorem21_bits(16, false), 16);
+  EXPECT_EQ(bounds::theorem21_bits(16, true), 12);
+  EXPECT_EQ(bounds::theorem21_bits(1e18, false), 62);  // capped
+}
+
+TEST(Bounds, IdGenerationBounds) {
+  EXPECT_DOUBLE_EQ(bounds::id_collision_upper(10), 1.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(bounds::id_settling_upper(4, 100, 50), 500.0);
+  EXPECT_THROW(bounds::id_collision_upper(0), std::invalid_argument);
+}
+
+TEST(Bounds, Theorem24Parameters) {
+  EXPECT_DOUBLE_EQ(bounds::theorem24_shape(200, 16), 800.0);
+  // B·Δ/m = 32 -> log2 = 5 -> 8 + 5 (paper offset).
+  EXPECT_EQ(bounds::theorem24_streak_length(320, 10, 100), 13);
+  EXPECT_EQ(bounds::theorem24_streak_length(320, 10, 100, 2), 7);
+  // Ratio below 1 clamps at the offset.
+  EXPECT_EQ(bounds::theorem24_streak_length(5, 1, 100), 8);
+  EXPECT_EQ(bounds::theorem24_level_threshold(256), 16);
+  EXPECT_EQ(bounds::theorem24_level_threshold(256, 2.0), 32);
+}
+
+TEST(Bounds, ClockFormulas) {
+  EXPECT_DOUBLE_EQ(bounds::clock_interactions_per_tick(3), 14.0);
+  EXPECT_DOUBLE_EQ(bounds::clock_steps_per_tick(3, 7, 70), 140.0);
+}
+
+TEST(Bounds, LowerBoundShapes) {
+  EXPECT_DOUBLE_EQ(bounds::renitent_shape(8, 100), 800.0);
+  EXPECT_DOUBLE_EQ(bounds::dense_lower_shape(16), 64.0);
+  EXPECT_DOUBLE_EQ(bounds::constant_state_lower_shape(100), 10000.0);
+}
+
+TEST(Bounds, Corollary25Shapes) {
+  // φ = 1: n·log² n.
+  EXPECT_DOUBLE_EQ(bounds::corollary25_shape(16, 1.0), 16.0 * 16.0);
+  // Halving φ doubles the time shape.
+  EXPECT_DOUBLE_EQ(bounds::corollary25_shape(16, 0.5),
+                   2.0 * bounds::corollary25_shape(16, 1.0));
+  // State shape grows as log(1/φ).
+  EXPECT_GT(bounds::corollary25_state_shape(256, 0.01),
+            bounds::corollary25_state_shape(256, 0.5));
+  EXPECT_THROW(bounds::corollary25_shape(16, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

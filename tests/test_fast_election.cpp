@@ -1,0 +1,353 @@
+#include "core/fast_election.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.h"
+#include "core/stable_checker.h"
+#include "dynamics/epidemic.h"
+#include "graph/generators.h"
+#include "sched/scheduler.h"
+
+namespace pp {
+namespace {
+
+using state = fast_protocol::state_type;
+
+fast_params tiny_params() {
+  fast_params p;
+  p.h = 1;
+  p.level_threshold = 1;
+  p.max_level = 2;
+  return p;
+}
+
+TEST(FastParams, PaperAndPracticalShapes) {
+  const graph g = make_clique(64);
+  const double b = estimate_broadcast_time(g, 0, 50, rng(1));
+  const fast_params paper = fast_params::paper(g, b);
+  const fast_params practical = fast_params::practical(g, b);
+  EXPECT_EQ(paper.h, practical.h + 6);  // offsets 8 vs 2
+  EXPECT_EQ(paper.level_threshold, 12);  // ceil(2·log2 64)
+  EXPECT_EQ(practical.level_threshold, 12);
+  EXPECT_EQ(paper.max_level, 8 * paper.level_threshold);
+  EXPECT_EQ(practical.max_level, 4 * practical.level_threshold);
+}
+
+TEST(FastParams, TauScalesThreshold) {
+  const graph g = make_clique(32);
+  const fast_params t1 = fast_params::paper(g, 200.0, 1.0);
+  const fast_params t2 = fast_params::paper(g, 200.0, 2.0);
+  EXPECT_EQ(t2.level_threshold, 2 * t1.level_threshold);
+}
+
+TEST(FastParams, StateSpaceSizeIsPolylog) {
+  // O(log² n): for n = 1024 with practical constants well under 10⁴ states.
+  const graph g = make_clique(1024);
+  const fast_params p = fast_params::practical(g, 1024.0 * 10.0);
+  EXPECT_LT(p.state_space_size(), 10'000u);
+  EXPECT_EQ(p.state_space_size(),
+            static_cast<std::uint64_t>(p.h + 1) * (p.max_level + 1) * 2 + 6);
+}
+
+TEST(FastProtocol, InitialStateIsWaitingLeader) {
+  const fast_protocol proto(tiny_params());
+  const state s = proto.initial_state(0);
+  EXPECT_TRUE(s.leader);
+  EXPECT_FALSE(s.in_backup);
+  EXPECT_EQ(s.level, 0);
+  EXPECT_EQ(proto.output(s), role::leader);
+}
+
+TEST(FastProtocol, ResponderStreakResets) {
+  fast_params p;
+  p.h = 3;
+  p.level_threshold = 2;
+  p.max_level = 8;
+  const fast_protocol proto(p);
+  state a = proto.initial_state(0);
+  state b = proto.initial_state(1);
+  proto.interact(a, b);
+  EXPECT_EQ(a.streak, 1);
+  EXPECT_EQ(b.streak, 0);
+  proto.interact(b, a);  // roles swap
+  EXPECT_EQ(a.streak, 0);
+  EXPECT_EQ(b.streak, 1);
+}
+
+TEST(FastProtocol, Rule1LeaderLevelsUpOnCompletedStreak) {
+  fast_params p;
+  p.h = 2;
+  p.level_threshold = 5;
+  p.max_level = 10;
+  const fast_protocol proto(p);
+  state a = proto.initial_state(0);
+  state b = proto.initial_state(1);
+  proto.interact(a, b);
+  EXPECT_EQ(a.level, 0);
+  proto.interact(a, b);  // second consecutive initiation completes the streak
+  EXPECT_EQ(a.level, 1);
+  EXPECT_EQ(a.streak, 0);
+}
+
+TEST(FastProtocol, FollowersDoNotLevelUp) {
+  fast_params p;
+  p.h = 1;
+  p.level_threshold = 5;
+  p.max_level = 10;
+  const fast_protocol proto(p);
+  state a = proto.initial_state(0);
+  a.leader = false;
+  state b = proto.initial_state(1);
+  proto.interact(a, b);  // a completes a streak (h = 1) but is a follower
+  EXPECT_EQ(a.level, 0);
+}
+
+TEST(FastProtocol, Rule2DemotesLowerLevelNode) {
+  fast_params p;
+  p.h = 4;
+  p.level_threshold = 2;
+  p.max_level = 8;
+  const fast_protocol proto(p);
+  state low = proto.initial_state(0);
+  state high = proto.initial_state(1);
+  high.level = 3;  // >= L
+  proto.interact(low, high);
+  EXPECT_FALSE(low.leader);
+  EXPECT_EQ(low.level, 3);  // Rule 3 adoption
+  EXPECT_TRUE(high.leader);
+}
+
+TEST(FastProtocol, BelowThresholdLevelsDoNotSpreadOrDemote) {
+  fast_params p;
+  p.h = 4;
+  p.level_threshold = 5;
+  p.max_level = 20;
+  const fast_protocol proto(p);
+  state low = proto.initial_state(0);
+  state mid = proto.initial_state(1);
+  mid.level = 3;  // < L: waiting phase is silent
+  proto.interact(low, mid);
+  EXPECT_TRUE(low.leader);
+  EXPECT_EQ(low.level, 0);
+}
+
+TEST(FastProtocol, EqualLevelsDoNotDemote) {
+  fast_params p;
+  p.h = 4;
+  p.level_threshold = 1;
+  p.max_level = 8;
+  const fast_protocol proto(p);
+  state a = proto.initial_state(0);
+  state b = proto.initial_state(1);
+  a.level = 3;
+  b.level = 3;
+  proto.interact(a, b);
+  EXPECT_TRUE(a.leader);
+  EXPECT_TRUE(b.leader);
+}
+
+TEST(FastProtocol, BackupEntryAsCandidateViaOwnClimb) {
+  fast_params p;
+  p.h = 1;
+  p.level_threshold = 1;
+  p.max_level = 2;
+  const fast_protocol proto(p);
+  state a = proto.initial_state(0);
+  state b = proto.initial_state(1);
+  b.leader = false;
+  proto.interact(a, b);  // a ticks (h=1): level 1
+  EXPECT_EQ(a.level, 1);
+  proto.interact(a, b);  // a ticks again: level 2 == max -> backup candidate
+  EXPECT_TRUE(a.in_backup);
+  EXPECT_TRUE(a.backup.candidate);
+  EXPECT_EQ(a.backup.token, bq_token::black);
+  EXPECT_EQ(proto.output(a), role::leader);
+}
+
+TEST(FastProtocol, BackupEntryAsFollowerViaAdoption) {
+  const fast_protocol proto(tiny_params());
+  state joiner = proto.initial_state(0);
+  state incumbent = proto.initial_state(1);
+  incumbent.in_backup = true;
+  incumbent.level = 2;
+  incumbent.backup = bq_init(true);
+  proto.interact(joiner, incumbent);
+  // joiner: demoted by Rule 2 (level 0 < 2 >= L), adopts max level, enters
+  // backup as follower without a token.
+  EXPECT_TRUE(joiner.in_backup);
+  EXPECT_FALSE(joiner.backup.candidate);
+  EXPECT_EQ(joiner.backup.token, bq_token::none);
+  EXPECT_EQ(proto.output(joiner), role::follower);
+  // No token exchange on the entry interaction.
+  EXPECT_EQ(incumbent.backup.token, bq_token::black);
+}
+
+TEST(FastProtocol, BackupPairRunsBeauquier) {
+  const fast_protocol proto(tiny_params());
+  state a = proto.initial_state(0);
+  state b = proto.initial_state(1);
+  for (state* s : {&a, &b}) {
+    s->in_backup = true;
+    s->level = 2;
+    s->backup = bq_init(true);
+  }
+  proto.interact(a, b);
+  // Black-black: responder whitens and self-kills.
+  EXPECT_TRUE(a.backup.candidate);
+  EXPECT_FALSE(b.backup.candidate);
+  EXPECT_EQ(proto.output(b), role::follower);
+}
+
+TEST(FastProtocol, RunInvariantsHoldThroughoutExecution) {
+  // (1) at least one output leader; (2) leader count never increases;
+  // (3) some globally-maximal-level node outputs leader; (4) within the
+  // backup population: candidates = black + white and black >= 1.
+  for (const auto& g : {make_clique(12), make_cycle(12), make_star(12)}) {
+    const double b_est = estimate_broadcast_time(g, 0, 30, rng(2));
+    const fast_protocol proto(fast_params::practical(g, b_est));
+    const node_id n = g.num_nodes();
+    std::vector<state> config(static_cast<std::size_t>(n));
+    for (node_id v = 0; v < n; ++v) config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+    edge_scheduler sched(g, rng(static_cast<std::uint64_t>(n) * 31));
+
+    std::int64_t prev_leaders = n;
+    for (int step = 0; step < 60000; ++step) {
+      const interaction it = sched.next();
+      proto.interact(config[static_cast<std::size_t>(it.initiator)],
+                     config[static_cast<std::size_t>(it.responder)]);
+
+      std::int64_t leaders = 0;
+      std::int64_t backup_candidates = 0;
+      std::int64_t black = 0;
+      std::int64_t white = 0;
+      int max_level = 0;
+      bool max_has_leader = false;
+      for (const state& s : config) {
+        max_level = std::max(max_level, static_cast<int>(s.level));
+      }
+      for (const state& s : config) {
+        const bool is_leader = proto.output(s) == role::leader;
+        if (is_leader) ++leaders;
+        if (static_cast<int>(s.level) == max_level && is_leader) max_has_leader = true;
+        if (s.in_backup) {
+          if (s.backup.candidate) ++backup_candidates;
+          if (s.backup.token == bq_token::black) ++black;
+          if (s.backup.token == bq_token::white) ++white;
+        }
+      }
+      ASSERT_GE(leaders, 1) << "step " << step;
+      ASSERT_LE(leaders, prev_leaders) << "step " << step;
+      ASSERT_TRUE(max_has_leader) << "step " << step;
+      ASSERT_EQ(backup_candidates, black + white) << "step " << step;
+      if (backup_candidates > 0) {
+        ASSERT_GE(black, 1) << "step " << step;
+      }
+      prev_leaders = leaders;
+    }
+  }
+}
+
+class FastElectsOnFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastElectsOnFamily, UniqueLeaderEverywhere) {
+  const int idx = GetParam();
+  std::vector<graph> graphs;
+  graphs.push_back(make_clique(16));
+  graphs.push_back(make_cycle(16));
+  graphs.push_back(make_star(16));
+  graphs.push_back(make_grid_2d(4, 4, true));
+  graphs.push_back(make_binary_tree(16));
+  graphs.push_back(make_path(16));
+  const graph& g = graphs[static_cast<std::size_t>(idx)];
+
+  const double b_est = estimate_broadcast_time(g, 0, 30, rng(20 + idx));
+  const fast_protocol proto(fast_params::practical(g, b_est));
+  rng seed(200 + idx);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto r = run_until_stable(proto, g, seed.fork(trial),
+                                    {.max_steps = 50'000'000});
+    EXPECT_TRUE(r.stabilized);
+    EXPECT_GE(r.leader, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FastElectsOnFamily, ::testing::Range(0, 6));
+
+TEST(FastProtocol, HighDegreeNodeWinsOnStar) {
+  // Theorem 24 guarantees the winner has degree Θ(Δ) w.h.p.; on a star that
+  // means the centre.
+  const graph g = make_star(32);
+  const double b_est = estimate_broadcast_time(g, 0, 30, rng(3));
+  const fast_protocol proto(fast_params::practical(g, b_est));
+  rng seed(4);
+  int centre_wins = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = run_until_stable(proto, g, seed.fork(t),
+                                    {.max_steps = 50'000'000});
+    ASSERT_TRUE(r.stabilized);
+    if (r.leader == 0) ++centre_wins;
+  }
+  EXPECT_GE(centre_wins, trials * 8 / 10);
+}
+
+TEST(FastProtocol, ForcedBackupPathStillElects) {
+  // Tiny parameters make the fast path fail constantly; the Beauquier
+  // backup must still deliver a unique leader.
+  const graph g = make_clique(10);
+  const fast_protocol proto(tiny_params());
+  rng seed(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto r = run_until_stable(proto, g, seed.fork(trial),
+                                    {.max_steps = 20'000'000});
+    EXPECT_TRUE(r.stabilized);
+  }
+}
+
+TEST(FastProtocol, TrackerMatchesBruteForceOnTinyGraph) {
+  const graph g = make_path(2);
+  const fast_protocol proto(tiny_params());
+  std::vector<state> config(2);
+  for (node_id v = 0; v < 2; ++v) config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+  fast_protocol::tracker_type tracker(proto, g, config);
+  edge_scheduler sched(g, rng(6));
+  for (int step = 0; step < 120; ++step) {
+    const auto report = brute_force_stability(proto, g, config);
+    ASSERT_TRUE(report.exhausted);
+    EXPECT_EQ(tracker.is_stable(), report.stable) << "step " << step;
+    if (report.stable) break;
+    const interaction it = sched.next();
+    auto& a = config[static_cast<std::size_t>(it.initiator)];
+    auto& b = config[static_cast<std::size_t>(it.responder)];
+    const auto oa = a;
+    const auto ob = b;
+    proto.interact(a, b);
+    tracker.on_interaction(proto, it.initiator, it.responder, oa, ob, a, b);
+  }
+}
+
+TEST(FastProtocol, CensusStaysWithinTheoreticalStateSpace) {
+  const graph g = make_clique(24);
+  const double b_est = estimate_broadcast_time(g, 0, 30, rng(7));
+  const fast_params params = fast_params::practical(g, b_est);
+  const fast_protocol proto(params);
+  const auto r = run_until_stable(proto, g, rng(8),
+                                  {.max_steps = 50'000'000, .state_census = true});
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_LE(r.distinct_states_used, params.state_space_size());
+  EXPECT_GE(r.distinct_states_used, 4u);
+}
+
+TEST(FastProtocol, RejectsInvalidParams) {
+  fast_params bad_level = tiny_params();
+  bad_level.max_level = bad_level.level_threshold;
+  EXPECT_THROW(fast_protocol{bad_level}, std::invalid_argument);
+  fast_params bad_h = tiny_params();
+  bad_h.h = 0;
+  EXPECT_THROW(fast_protocol{bad_h}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,83 @@
+#include "support/fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace pp {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(2.5 * xi - 1.0);
+  const auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineHighR2) {
+  rng gen(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 10.0 + (gen.uniform01() - 0.5));
+  }
+  const auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(FitLinear, ConstantYPerfectFit) {
+  const auto f = fit_linear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RejectsDegenerateInputs) {
+  EXPECT_THROW(fit_linear({1}, {2}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({2, 2}, {1, 3}), std::invalid_argument);
+}
+
+TEST(FitLogLog, RecoversPowerLawExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double n : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    x.push_back(n);
+    y.push_back(7.0 * std::pow(n, 1.5));
+  }
+  const auto f = fit_loglog(x, y);
+  EXPECT_NEAR(f.slope, 1.5, 1e-10);
+  EXPECT_NEAR(std::exp(f.intercept), 7.0, 1e-8);
+}
+
+TEST(FitLogLog, QuadraticVsLinearDistinguishable) {
+  std::vector<double> x;
+  std::vector<double> quad;
+  std::vector<double> lin;
+  for (const double n : {32.0, 64.0, 128.0, 256.0}) {
+    x.push_back(n);
+    quad.push_back(n * n);
+    lin.push_back(n * std::log2(n));
+  }
+  EXPECT_NEAR(fit_loglog(x, quad).slope, 2.0, 1e-10);
+  // n log n fits a power law with exponent slightly above 1.
+  const double slope = fit_loglog(x, lin).slope;
+  EXPECT_GT(slope, 1.0);
+  EXPECT_LT(slope, 1.5);
+}
+
+TEST(FitLogLog, RejectsNonPositive) {
+  EXPECT_THROW(fit_loglog({1, 2}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(fit_loglog({-1, 2}, {1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,104 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pp {
+namespace {
+
+graph triangle() { return graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(Graph, BasicCounts) {
+  const graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_EQ(g.min_degree(), 2);
+}
+
+TEST(Graph, NormalisesEdgeOrientation) {
+  const graph g = graph::from_edges(3, {{2, 0}, {1, 0}});
+  for (const edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, DeduplicatesEdges) {
+  const graph g = graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(graph::from_edges(2, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(graph::from_edges(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsEmptyNodeSet) {
+  EXPECT_THROW(graph::from_edges(0, {}), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  const graph g = graph::from_edges(5, {{4, 2}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, HasEdgeBothDirections) {
+  const graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, EdgeIndexRoundTrip) {
+  const graph g = triangle();
+  for (std::size_t id = 0; id < g.edges().size(); ++id) {
+    const edge& e = g.edges()[id];
+    EXPECT_EQ(g.edge_index(e.u, e.v), static_cast<std::int64_t>(id));
+    EXPECT_EQ(g.edge_index(e.v, e.u), static_cast<std::int64_t>(id));
+  }
+  EXPECT_EQ(graph::from_edges(3, {{0, 1}}).edge_index(1, 2), -1);
+}
+
+TEST(Graph, IncidentEdgeIdsMatchNeighbors) {
+  const graph g = graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  const auto nb = g.neighbors(0);
+  const auto ids = g.incident_edge_ids(0);
+  ASSERT_EQ(nb.size(), ids.size());
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    const edge& e = g.edges()[static_cast<std::size_t>(ids[i])];
+    EXPECT_TRUE((e.u == 0 && e.v == nb[i]) || (e.v == 0 && e.u == nb[i]));
+  }
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  const graph g = graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}, {1, 4}});
+  std::int64_t total = 0;
+  for (node_id v = 0; v < g.num_nodes(); ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(Graph, IsolatedNodeAllowed) {
+  const graph g = graph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.neighbors(2).empty());
+  EXPECT_EQ(g.min_degree(), 0);
+}
+
+TEST(Graph, OutOfRangeQueriesThrow) {
+  const graph g = triangle();
+  EXPECT_THROW(g.neighbors(3), std::invalid_argument);
+  EXPECT_THROW(g.degree(-1), std::invalid_argument);
+  EXPECT_THROW(g.edge_index(0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

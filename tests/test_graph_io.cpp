@@ -1,0 +1,80 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesGraph) {
+  rng gen(1);
+  for (const auto& g : {make_clique(6), make_cycle(9), make_star(7),
+                        make_erdos_renyi(20, 0.3, gen)}) {
+    const graph back = from_edge_list_string(to_edge_list_string(g));
+    EXPECT_EQ(back.num_nodes(), g.num_nodes());
+    EXPECT_EQ(back.edges(), g.edges());
+  }
+}
+
+TEST(GraphIo, HeaderFormat) {
+  const std::string text = to_edge_list_string(make_path(3));
+  EXPECT_EQ(text.substr(0, 4), "3 2\n");
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "# interaction graph\n"
+      "\n"
+      "3 2\n"
+      "# edges follow\n"
+      "0 1\n"
+      "\n"
+      "1 2\n";
+  const graph g = from_edge_list_string(text);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW(from_edge_list_string(""), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("abc\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 2\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 1\n0 3\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 1\n1 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, DotContainsAllEdges) {
+  const graph g = make_cycle(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph population {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3;"), std::string::npos);
+  EXPECT_EQ(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(GraphIo, DotMarksLeaders) {
+  const graph g = make_path(3);
+  std::vector<bool> leaders{false, true, false};
+  const std::string dot = to_dot(g, leaders);
+  EXPECT_NE(dot.find("1 [shape=doublecircle];"), std::string::npos);
+}
+
+TEST(GraphIo, DotRejectsWrongFlagCount) {
+  EXPECT_THROW(to_dot(make_path(3), std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, StreamInterface) {
+  const graph g = make_star(5);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+}  // namespace
+}  // namespace pp

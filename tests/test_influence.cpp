@@ -1,0 +1,130 @@
+#include "dynamics/influence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(RecordSchedule, LengthAndValidity) {
+  const graph g = make_cycle(6);
+  const auto sched = record_schedule(g, 500, rng(1));
+  ASSERT_EQ(sched.length(), 500u);
+  for (std::size_t i = 0; i < sched.length(); ++i) {
+    EXPECT_TRUE(g.has_edge(sched.initiators[i], sched.responders[i]));
+  }
+}
+
+TEST(RecordSchedule, Deterministic) {
+  const graph g = make_clique(5);
+  const auto a = record_schedule(g, 100, rng(2));
+  const auto b = record_schedule(g, 100, rng(2));
+  EXPECT_EQ(a.initiators, b.initiators);
+  EXPECT_EQ(a.responders, b.responders);
+}
+
+TEST(Influencers, EmptyScheduleIsSelf) {
+  recorded_schedule sched;
+  const auto stats = influencers_of(sched, 5, 3);
+  EXPECT_EQ(stats.influencer_count, 1u);
+  EXPECT_EQ(stats.internal_interactions, 0u);
+}
+
+TEST(Influencers, HandComputedChain) {
+  // Schedule (0,1), (1,2) on a path: node 2 is influenced by everyone, node 0
+  // only by itself and node 1.
+  recorded_schedule sched;
+  sched.initiators = {0, 1};
+  sched.responders = {1, 2};
+  EXPECT_EQ(influencers_of(sched, 3, 2).influencer_count, 3u);
+  // The (1,2) interaction happened after (0,1), so node 2 never influences
+  // node 0: replayed in reverse, (1,2) is scanned first and misses {0}.
+  EXPECT_EQ(influencers_of(sched, 3, 0).influencer_count, 2u);
+  // Node 1 exchanged with both neighbours, so everyone influences it.
+  EXPECT_EQ(influencers_of(sched, 3, 1).influencer_count, 3u);
+}
+
+TEST(Influencers, InternalInteractionCounted) {
+  recorded_schedule sched;
+  sched.initiators = {0, 0};
+  sched.responders = {1, 1};
+  const auto stats = influencers_of(sched, 2, 1);
+  EXPECT_EQ(stats.influencer_count, 2u);
+  EXPECT_EQ(stats.internal_interactions, 1u);
+}
+
+TEST(Influencers, CountBoundedByInteractions) {
+  const graph g = make_clique(32);
+  const auto sched = record_schedule(g, 40, rng(3));
+  for (node_id v = 0; v < 32; v += 7) {
+    const auto stats = influencers_of(sched, 32, v);
+    EXPECT_LE(stats.influencer_count, 41u);  // grows by at most 1 per step
+    EXPECT_GE(stats.influencer_count, 1u);
+  }
+}
+
+TEST(Influencers, Lemma41GrowthIsSlowOnDenseGraphs) {
+  // At t = n/4 steps on a clique the average influence set is much smaller
+  // than n (each step adds at most one member to one node's set).
+  const node_id n = 256;
+  const graph g = make_clique(n);
+  const auto sched = record_schedule(g, static_cast<std::uint64_t>(n / 4), rng(4));
+  double total = 0.0;
+  for (node_id v = 0; v < n; v += 16) {
+    total += static_cast<double>(influencers_of(sched, n, v).influencer_count);
+  }
+  EXPECT_LT(total / 16.0, n / 8.0);
+}
+
+TEST(Influencers, Lemma44FewInternalInteractions) {
+  // For t = 0.2·n·log n on a dense graph, J_t(v) is almost tree-like.
+  const node_id n = 128;
+  const graph g = make_clique(n);
+  const auto t = static_cast<std::uint64_t>(0.2 * n * std::log(n));
+  const auto sched = record_schedule(g, t, rng(5));
+  std::size_t worst = 0;
+  for (node_id v = 0; v < n; v += 8) {
+    worst = std::max(worst, influencers_of(sched, n, v).internal_interactions);
+  }
+  EXPECT_LE(worst, static_cast<std::size_t>(3.0 * std::log(n)));
+}
+
+TEST(FirstInteraction, HandComputed) {
+  recorded_schedule sched;
+  sched.initiators = {0, 1, 0};
+  sched.responders = {1, 2, 3};
+  const auto first = first_interaction_steps(sched, 5);
+  EXPECT_EQ(first[0], 1u);
+  EXPECT_EQ(first[1], 1u);
+  EXPECT_EQ(first[2], 2u);
+  EXPECT_EQ(first[3], 3u);
+  EXPECT_EQ(first[4], 0u);  // never interacted
+}
+
+TEST(FirstInteraction, NonInteractedCounts) {
+  recorded_schedule sched;
+  sched.initiators = {0, 1};
+  sched.responders = {1, 2};
+  const auto first = first_interaction_steps(sched, 4);
+  EXPECT_EQ(count_non_interacted(first, 0), 4u);
+  EXPECT_EQ(count_non_interacted(first, 1), 2u);  // nodes 2 and 3
+  EXPECT_EQ(count_non_interacted(first, 2), 1u);  // node 3
+}
+
+TEST(FirstInteraction, Lemma42ManySurvivorsOnDenseGraphs) {
+  // After t = 0.1·n·log n steps on a clique, polynomially many nodes have
+  // not interacted (each step touches two nodes).
+  const node_id n = 256;
+  const graph g = make_clique(n);
+  const auto t = static_cast<std::uint64_t>(0.1 * n * std::log(n));
+  const auto sched = record_schedule(g, t, rng(6));
+  const auto first = first_interaction_steps(sched, n);
+  const auto survivors = count_non_interacted(first, t);
+  EXPECT_GE(survivors, static_cast<std::size_t>(std::pow(n, 0.5)));
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,103 @@
+// Differential validation of the multigraph-of-influencers semantics (§7.1):
+// a node's state at step t is fully determined by its influencer
+// interactions — replaying only those must reproduce the state that a full
+// replay of the schedule produces, for every protocol.
+#include <gtest/gtest.h>
+
+#include "core/beauquier.h"
+#include "core/fast_election.h"
+#include "core/id_election.h"
+#include "core/star_protocol.h"
+#include "dynamics/influence.h"
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+template <typename P>
+typename P::state_type full_replay_state(const P& proto,
+                                         const recorded_schedule& sched,
+                                         node_id n, node_id v) {
+  std::vector<typename P::state_type> config(static_cast<std::size_t>(n));
+  for (node_id u = 0; u < n; ++u) {
+    config[static_cast<std::size_t>(u)] = proto.initial_state(u);
+  }
+  for (std::size_t i = 0; i < sched.length(); ++i) {
+    proto.interact(config[static_cast<std::size_t>(sched.initiators[i])],
+                   config[static_cast<std::size_t>(sched.responders[i])]);
+  }
+  return config[static_cast<std::size_t>(v)];
+}
+
+template <typename P>
+void check_replay_equivalence(const P& proto, const graph& g,
+                              std::uint64_t steps, std::uint64_t seed) {
+  const node_id n = g.num_nodes();
+  const auto sched = record_schedule(g, steps, rng(seed));
+  for (node_id v = 0; v < n; v += std::max(1, n / 8)) {
+    const auto full = full_replay_state(proto, sched, n, v);
+    const auto partial = replay_influencer_state(proto, sched, n, v);
+    EXPECT_EQ(proto.encode(full), proto.encode(partial))
+        << "node " << v << " diverged";
+  }
+}
+
+TEST(InfluencerReplay, IndicesAreSortedAndTouchTheCone) {
+  const graph g = make_cycle(8);
+  const auto sched = record_schedule(g, 100, rng(1));
+  const auto idx = influencer_interaction_indices(sched, 8, 3);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  EXPECT_LE(idx.size(), sched.length());
+  // The last interaction of node 3 (if any) must be included.
+  for (std::size_t i = sched.length(); i-- > 0;) {
+    if (sched.initiators[i] == 3 || sched.responders[i] == 3) {
+      EXPECT_TRUE(std::find(idx.begin(), idx.end(), i) != idx.end());
+      break;
+    }
+  }
+}
+
+TEST(InfluencerReplay, EmptyScheduleGivesInitialState) {
+  const beauquier_protocol proto(4);
+  recorded_schedule sched;
+  const auto s = replay_influencer_state(proto, sched, 4, 2);
+  EXPECT_EQ(proto.encode(s), proto.encode(proto.initial_state(2)));
+}
+
+TEST(InfluencerReplay, BeauquierMatchesFullReplay) {
+  check_replay_equivalence(beauquier_protocol(16), make_cycle(16), 800, 2);
+  check_replay_equivalence(beauquier_protocol(12), make_clique(12), 500, 3);
+}
+
+TEST(InfluencerReplay, IdProtocolMatchesFullReplay) {
+  check_replay_equivalence(id_protocol(6), make_cycle(12), 600, 4);
+  check_replay_equivalence(id_protocol(8), make_star(10), 400, 5);
+}
+
+TEST(InfluencerReplay, FastProtocolMatchesFullReplay) {
+  fast_params p;
+  p.h = 2;
+  p.level_threshold = 4;
+  p.max_level = 16;
+  check_replay_equivalence(fast_protocol(p), make_clique(10), 2000, 6);
+  check_replay_equivalence(fast_protocol(p), make_grid_2d(4, 4, true), 2000, 7);
+}
+
+TEST(InfluencerReplay, StarProtocolMatchesFullReplay) {
+  check_replay_equivalence(star_protocol{}, make_star(12), 60, 8);
+}
+
+TEST(InfluencerReplay, SubscheduleIsStrictlySmallerEarlyOn) {
+  // At small t, most interactions are outside any single node's causal cone.
+  const node_id n = 64;
+  const graph g = make_clique(n);
+  const auto sched = record_schedule(g, 64, rng(9));
+  std::size_t total = 0;
+  for (node_id v = 0; v < n; v += 8) {
+    total += influencer_interaction_indices(sched, n, v).size();
+  }
+  EXPECT_LT(total / 8, sched.length() / 2);
+}
+
+}  // namespace
+}  // namespace pp

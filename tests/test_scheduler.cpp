@@ -1,0 +1,94 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(Scheduler, SamplesOnlyAdjacentOrderedPairs) {
+  const graph g = make_path(4);
+  edge_scheduler sched(g, rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    const interaction it = sched.next();
+    EXPECT_TRUE(g.has_edge(it.initiator, it.responder));
+    EXPECT_NE(it.initiator, it.responder);
+  }
+}
+
+TEST(Scheduler, CountsSteps) {
+  const graph g = make_cycle(5);
+  edge_scheduler sched(g, rng(2));
+  EXPECT_EQ(sched.steps(), 0u);
+  sched.next();
+  sched.next();
+  EXPECT_EQ(sched.steps(), 2u);
+  sched.skip(10);
+  EXPECT_EQ(sched.steps(), 12u);
+}
+
+TEST(Scheduler, UniformOverOrderedPairs) {
+  const graph g = make_cycle(4);  // 4 edges, 8 ordered pairs
+  edge_scheduler sched(g, rng(3));
+  std::map<std::pair<node_id, node_id>, int> count;
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    const interaction it = sched.next();
+    ++count[{it.initiator, it.responder}];
+  }
+  ASSERT_EQ(count.size(), 8u);
+  const double expected = draws / 8.0;
+  double chi2 = 0.0;
+  for (const auto& [pair, c] : count) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 7 dof, 99.9th percentile ~ 24.3.
+  EXPECT_LT(chi2, 26.0);
+}
+
+TEST(Scheduler, BothOrientationsAppear) {
+  const graph g = graph::from_edges(2, {{0, 1}});
+  edge_scheduler sched(g, rng(4));
+  int forward = 0;
+  int backward = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const interaction it = sched.next();
+    if (it.initiator == 0) ++forward;
+    if (it.initiator == 1) ++backward;
+  }
+  EXPECT_GT(forward, 400);
+  EXPECT_GT(backward, 400);
+}
+
+TEST(Scheduler, DeterministicGivenSeed) {
+  const graph g = make_clique(6);
+  edge_scheduler a(g, rng(99));
+  edge_scheduler b(g, rng(99));
+  for (int i = 0; i < 1000; ++i) {
+    const interaction x = a.next();
+    const interaction y = b.next();
+    EXPECT_EQ(x.initiator, y.initiator);
+    EXPECT_EQ(x.responder, y.responder);
+  }
+}
+
+TEST(Scheduler, RejectsEdgelessGraph) {
+  const graph g = graph::from_edges(3, {});
+  EXPECT_THROW(edge_scheduler(g, rng(1)), std::invalid_argument);
+}
+
+TEST(Scheduler, GeometricStepsHasRightMean) {
+  const graph g = make_clique(4);
+  edge_scheduler sched(g, rng(5));
+  const double p = 0.1;
+  double total = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) total += static_cast<double>(sched.geometric_steps(p));
+  EXPECT_NEAR(total / draws, 1.0 / p, 0.3);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,73 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/beauquier.h"
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const graph g = make_clique(8);
+  const beauquier_protocol proto(8);
+  const auto a = run_until_stable(proto, g, rng(1));
+  const auto b = run_until_stable(proto, g, rng(1));
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.leader, b.leader);
+}
+
+TEST(Simulator, DifferentSeedsExploreDifferentRuns) {
+  const graph g = make_clique(8);
+  const beauquier_protocol proto(8);
+  rng seed(2);
+  std::set<std::uint64_t> steps;
+  for (int t = 0; t < 10; ++t) {
+    steps.insert(run_until_stable(proto, g, seed.fork(t)).steps);
+  }
+  EXPECT_GT(steps.size(), 1u);
+}
+
+TEST(Simulator, MaxStepsCapsRun) {
+  const graph g = make_cycle(64);
+  const beauquier_protocol proto(64);
+  const auto r = run_until_stable(proto, g, rng(3), {.max_steps = 5});
+  EXPECT_FALSE(r.stabilized);
+  EXPECT_EQ(r.steps, 5u);
+  EXPECT_EQ(r.leader, -1);
+}
+
+TEST(Simulator, CensusDisabledReportsZero) {
+  const graph g = make_clique(6);
+  const beauquier_protocol proto(6);
+  const auto r = run_until_stable(proto, g, rng(4));
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.distinct_states_used, 0u);
+}
+
+TEST(Simulator, CensusCountsInitialStates) {
+  const graph g = make_clique(6);
+  std::vector<bool> cands(6, false);
+  cands[0] = true;
+  const beauquier_protocol proto(6, cands);
+  // Immediately stable: census sees exactly the two initial state kinds.
+  const auto r = run_until_stable(proto, g, rng(5), {.state_census = true});
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_EQ(r.distinct_states_used, 2u);
+}
+
+TEST(Simulator, LeaderIsAlwaysAValidNode) {
+  const graph g = make_grid_2d(3, 3, false);
+  const beauquier_protocol proto(9);
+  rng seed(6);
+  for (int t = 0; t < 10; ++t) {
+    const auto r = run_until_stable(proto, g, seed.fork(t));
+    ASSERT_TRUE(r.stabilized);
+    EXPECT_GE(r.leader, 0);
+    EXPECT_LT(r.leader, 9);
+  }
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,128 @@
+#include "core/star_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "core/stable_checker.h"
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+using state = star_protocol::state_type;
+
+TEST(StarProtocol, UndecidedPairElectsInitiator) {
+  const star_protocol proto;
+  state a = state::undecided;
+  state b = state::undecided;
+  proto.interact(a, b);
+  EXPECT_EQ(a, state::leader);
+  EXPECT_EQ(b, state::follower);
+}
+
+TEST(StarProtocol, UndecidedMeetingDecidedFollows) {
+  const star_protocol proto;
+  for (const state decided : {state::leader, state::follower}) {
+    state a = state::undecided;
+    state b = decided;
+    proto.interact(a, b);
+    EXPECT_EQ(a, state::follower);
+    EXPECT_EQ(b, decided);
+  }
+}
+
+TEST(StarProtocol, DecidedStatesNeverChange) {
+  const star_protocol proto;
+  state a = state::leader;
+  state b = state::follower;
+  proto.interact(a, b);
+  EXPECT_EQ(a, state::leader);
+  EXPECT_EQ(b, state::follower);
+  proto.interact(b, a);
+  EXPECT_EQ(a, state::leader);
+  EXPECT_EQ(b, state::follower);
+}
+
+TEST(StarProtocol, StabilizesInOneInteractionOnStars) {
+  const star_protocol proto;
+  rng seed(1);
+  for (const node_id n : {2, 5, 20, 100}) {
+    const graph g = make_star(n);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto r = run_until_stable(proto, g, seed.fork(
+          static_cast<std::uint64_t>(n) * 100 + trial));
+      ASSERT_TRUE(r.stabilized);
+      EXPECT_EQ(r.steps, 1u) << "n=" << n;
+      EXPECT_GE(r.leader, 0);
+    }
+  }
+}
+
+TEST(StarProtocol, UsesThreeStates) {
+  const star_protocol proto;
+  const graph g = make_star(30);
+  const auto r = run_until_stable(proto, g, rng(2), {.state_census = true});
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_LE(r.distinct_states_used, 3u);
+}
+
+TEST(StarProtocol, FirstInteractionConfigurationIsProvablyStable) {
+  const star_protocol proto;
+  const graph g = make_star(4);
+  // Centre decided as follower, one leaf leader, two leaves undecided: the
+  // situation after a leaf-initiated first interaction.
+  std::vector<state> config{state::follower, state::leader, state::undecided,
+                            state::undecided};
+  const auto report = brute_force_stability(proto, g, config);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_TRUE(report.stable);
+}
+
+TEST(StarProtocol, CanFailOnGraphsWithDisjointEdges) {
+  // On P_4 the edge pairs {0,1} and {2,3} can elect two leaders; such runs
+  // never satisfy the tracker.
+  const star_protocol proto;
+  const graph g = make_path(4);
+  rng seed(3);
+  int failures = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = run_until_stable(proto, g, seed.fork(t), {.max_steps = 10'000});
+    if (!r.stabilized) ++failures;
+  }
+  EXPECT_GT(failures, 0);        // two-leader deadlocks happen
+  EXPECT_LT(failures, trials);   // but single-leader runs happen too
+}
+
+TEST(StarProtocol, TwoLeaderConfigurationIsOutputStableButIncorrect) {
+  const star_protocol proto;
+  const graph g = make_path(4);
+  const std::vector<state> config{state::leader, state::follower, state::follower,
+                                  state::leader};
+  // Output-invariant under every continuation (no undecided nodes remain)…
+  const auto report = brute_force_stability(proto, g, config);
+  EXPECT_TRUE(report.stable);
+  // …but the tracker rightly refuses it: two leaders is not a correct
+  // election outcome.
+  star_protocol::tracker_type tracker(proto, g, config);
+  EXPECT_FALSE(tracker.is_stable());
+}
+
+TEST(StarProtocol, TrackerCountsUndecidedEdges) {
+  const star_protocol proto;
+  const graph g = make_path(3);
+  std::vector<state> config(3, state::undecided);
+  star_protocol::tracker_type tracker(proto, g, config);
+  EXPECT_FALSE(tracker.is_stable());
+
+  // Interaction on edge {0,1}: leader + follower; edge {1,2} stops being
+  // undecided-undecided, leaving zero such edges and exactly one leader.
+  auto old0 = config[0];
+  auto old1 = config[1];
+  proto.interact(config[0], config[1]);
+  tracker.on_interaction(proto, 0, 1, old0, old1, config[0], config[1]);
+  EXPECT_TRUE(tracker.is_stable());
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,101 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pp {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  running_stats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 4 * 8/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMax) {
+  running_stats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  running_stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  running_stats s;
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  EXPECT_THROW(s.min(), std::invalid_argument);
+}
+
+TEST(QuantileSorted, Median) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(QuantileSorted, Extremes) {
+  const std::vector<double> v{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 9.0);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.3), 7.0);
+}
+
+TEST(QuantileSorted, RejectsBadArgs) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Summarize, BasicFields) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_GT(s.ci95_halfwidth, 0.0);
+}
+
+TEST(Summarize, QuantilesOrdered) {
+  std::vector<double> v;
+  for (int i = 0; i < 101; ++i) v.push_back(static_cast<double>(i));
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.q10, 10.0);
+  EXPECT_DOUBLE_EQ(s.q90, 90.0);
+  EXPECT_LE(s.q10, s.median);
+  EXPECT_LE(s.median, s.q90);
+}
+
+TEST(Summarize, ConfidenceIntervalShrinks) {
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 10; ++i) small.push_back(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(summarize(small).ci95_halfwidth, summarize(large).ci95_halfwidth);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,122 @@
+#include "core/streak_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pp {
+namespace {
+
+TEST(StreakClock, TicksAfterHConsecutiveInitiations) {
+  streak_clock clock(3);
+  EXPECT_FALSE(clock.on_interaction(true));
+  EXPECT_FALSE(clock.on_interaction(true));
+  EXPECT_TRUE(clock.on_interaction(true));
+  EXPECT_EQ(clock.streak(), 0);  // reset after the tick
+}
+
+TEST(StreakClock, ResponderResetsStreak) {
+  streak_clock clock(3);
+  clock.on_interaction(true);
+  clock.on_interaction(true);
+  EXPECT_FALSE(clock.on_interaction(false));
+  EXPECT_EQ(clock.streak(), 0);
+  // Needs the full streak again.
+  EXPECT_FALSE(clock.on_interaction(true));
+  EXPECT_FALSE(clock.on_interaction(true));
+  EXPECT_TRUE(clock.on_interaction(true));
+}
+
+TEST(StreakClock, HEqualsOneTicksEveryInitiation) {
+  streak_clock clock(1);
+  EXPECT_TRUE(clock.on_interaction(true));
+  EXPECT_FALSE(clock.on_interaction(false));
+  EXPECT_TRUE(clock.on_interaction(true));
+}
+
+TEST(StreakClock, RejectsBadH) {
+  EXPECT_THROW(streak_clock(0), std::invalid_argument);
+  EXPECT_THROW(streak_clock(63), std::invalid_argument);
+}
+
+TEST(StreakClock, ExpectedInteractionsFormula) {
+  // Lemma 27a: E[K] = 2^{h+1} - 2.
+  EXPECT_DOUBLE_EQ(streak_clock::expected_interactions_per_tick(1), 2.0);
+  EXPECT_DOUBLE_EQ(streak_clock::expected_interactions_per_tick(3), 14.0);
+  EXPECT_DOUBLE_EQ(streak_clock::expected_interactions_per_tick(10), 2046.0);
+}
+
+TEST(StreakClock, SampledMeanMatchesLemma27a) {
+  rng gen(1);
+  for (const int h : {1, 2, 3, 4, 5}) {
+    const int trials = 40000;
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      total += static_cast<double>(sample_streak_interactions(h, gen));
+    }
+    const double expected = streak_clock::expected_interactions_per_tick(h);
+    EXPECT_NEAR(total / trials, expected, 0.03 * expected) << "h=" << h;
+  }
+}
+
+TEST(StreakClock, SamplerAgreesWithClockDynamics) {
+  // Driving the clock with fair coin roles reproduces the K distribution.
+  rng gen(2);
+  const int h = 3;
+  const int trials = 30000;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    streak_clock clock(h);
+    std::uint64_t interactions = 0;
+    for (;;) {
+      ++interactions;
+      if (clock.on_interaction(gen.coin())) break;
+    }
+    total += static_cast<double>(interactions);
+  }
+  const double expected = streak_clock::expected_interactions_per_tick(h);
+  EXPECT_NEAR(total / trials, expected, 0.03 * expected);
+}
+
+TEST(StreakClock, Lemma26GeometricSandwich) {
+  // Geom(2^-h) ⪯ K ⪯ Geom(2^-(h+1)) + h: compare empirical tail
+  // probabilities at several thresholds.
+  rng gen(3);
+  const int h = 3;
+  const int trials = 60000;
+  std::vector<std::uint64_t> samples(trials);
+  for (int t = 0; t < trials; ++t) samples[t] = sample_streak_interactions(h, gen);
+
+  const double ph = std::pow(2.0, -h);
+  const double ph1 = std::pow(2.0, -(h + 1));
+  for (const std::uint64_t k : {8ull, 16ull, 32ull, 64ull}) {
+    double tail = 0.0;
+    for (const auto s : samples) {
+      if (s >= k) tail += 1.0;
+    }
+    tail /= trials;
+    const double lower = std::pow(1.0 - ph, static_cast<double>(k));        // P[Z0 >= k]
+    const double upper = std::pow(1.0 - ph1, static_cast<double>(k - h));   // P[Z1+h >= k]
+    EXPECT_GE(tail, lower - 0.01) << "k=" << k;
+    EXPECT_LE(tail, upper + 0.01) << "k=" << k;
+  }
+}
+
+TEST(StreakClock, ExpectedStepsScalesInverselyWithDegree) {
+  // Lemma 27b: E[X(d)] = E[K]·m/d.
+  const double m = 1000.0;
+  EXPECT_DOUBLE_EQ(streak_clock::expected_steps_per_tick(3, 10.0, m), 14.0 * 100.0);
+  EXPECT_GT(streak_clock::expected_steps_per_tick(3, 2.0, m),
+            streak_clock::expected_steps_per_tick(3, 20.0, m));
+}
+
+TEST(StreakClock, ExpectedStepsRejectsBadArgs) {
+  EXPECT_THROW(streak_clock::expected_steps_per_tick(3, 0.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(streak_clock::expected_steps_per_tick(3, 20.0, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp

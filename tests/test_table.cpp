@@ -1,0 +1,82 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pp {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t({"name", "value"});
+  t.add_row({"clique", "128"});
+  t.add_row({"cycle", "9"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("clique"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  text_table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, RejectsOverlongRows) {
+  text_table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(text_table({}), std::invalid_argument);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  text_table t({"k", "v"});
+  t.add_row({"long-name", "1"});
+  t.add_row({"x", "22"});
+  const std::string out = t.to_string();
+  // Each line has the same length (trailing alignment).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  int checked = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    const auto len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(FormatNumber, Integers) {
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(1000000.0), "1000000");
+}
+
+TEST(FormatNumber, SmallDecimals) {
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(3.14159, 3), "3.14");
+}
+
+TEST(FormatNumber, LargeUsesScientific) {
+  // Integral values print plainly up to 1e15; beyond that, and for large
+  // non-integral values, scientific notation kicks in.
+  EXPECT_EQ(format_number(1.23456e12).find('e'), std::string::npos);
+  EXPECT_NE(format_number(1.5e20).find('e'), std::string::npos);
+  EXPECT_NE(format_number(12345678.5).find('e'), std::string::npos);
+}
+
+TEST(FormatNumber, NonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+}
+
+}  // namespace
+}  // namespace pp
