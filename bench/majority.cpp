@@ -46,10 +46,15 @@ void run() {
           rng trial_gen = gen.fork(t);
           const auto votes = random_vote_assignment(nodes, plus, trial_gen);
           const majority_protocol proto(votes);
-          const auto r = run_majority(proto, g, trial_gen.fork(1), UINT64_MAX);
+          // Compiled engine, seeded like run_majority: identical trajectory
+          // and winner (a stabilized run has a leader-output node iff plus
+          // won), at a multiple of the step rate.
+          const auto r = run_until_stable_fast(proto, g, trial_gen.fork(1));
+          const auto winner =
+              r.leader >= 0 ? majority_vote::plus : majority_vote::minus;
           if (r.stabilized &&
-              r.winner == (plus > nodes - plus ? majority_vote::plus
-                                               : majority_vote::minus)) {
+              winner == (plus > nodes - plus ? majority_vote::plus
+                                             : majority_vote::minus)) {
             ++correct;
           }
           total_steps += static_cast<double>(r.steps);

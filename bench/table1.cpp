@@ -58,9 +58,10 @@ void run() {
     // --- fast space-efficient protocol (Theorem 24) ---
     {
       const fast_protocol proto(fast_params::practical(g, b_measured));
-      const auto census = run_until_stable(proto, g, seed.fork(stream++),
-                                           {.max_steps = UINT64_MAX, .state_census = true});
-      const auto s = measure_election(proto, g, trials, seed.fork(stream++));
+      // Compiled engine: identical seeded results at ~5x the step rate.
+      const auto census = run_until_stable_fast(proto, g, seed.fork(stream++),
+                                                {.max_steps = UINT64_MAX, .state_census = true});
+      const auto s = measure_election_fast(proto, g, trials, seed.fork(stream++));
       const double shape = b_measured * log_n;
       table.add_row({setup.name, format_number(n), "fast (Thm 24)",
                      format_number(s.steps.mean),

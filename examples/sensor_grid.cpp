@@ -38,9 +38,10 @@ int main(int argc, char** argv) {
 
   {
     const pp::fast_protocol proto(pp::fast_params::practical(g, b));
-    const auto census = pp::run_until_stable(
+    // Compiled engine (src/engine/): same seeded results, ~5x the step rate.
+    const auto census = pp::run_until_stable_fast(
         proto, g, seed.fork(1), {.max_steps = UINT64_MAX, .state_census = true});
-    const auto s = pp::measure_election(proto, g, trials, seed.fork(2));
+    const auto s = pp::measure_election_fast(proto, g, trials, seed.fork(2));
     table.add_row({"fast space-efficient (Thm 24)",
                    pp::format_number(static_cast<double>(census.distinct_states_used)),
                    pp::format_number(s.steps.mean),

@@ -1,9 +1,29 @@
 #include "analysis/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
 namespace pp {
+
+election_summary summarize_election_results(
+    const std::vector<election_result>& results) {
+  election_summary summary;
+  std::vector<double> steps;
+  int stabilized = 0;
+  for (const election_result& r : results) {
+    if (r.stabilized) {
+      ++stabilized;
+      steps.push_back(static_cast<double>(r.steps));
+    }
+    summary.max_states_used =
+        std::max(summary.max_states_used, static_cast<double>(r.distinct_states_used));
+  }
+  summary.stabilized_fraction =
+      results.empty() ? 0.0 : static_cast<double>(stabilized) / static_cast<double>(results.size());
+  if (!steps.empty()) summary.steps = summarize(steps);
+  return summary;
+}
 
 election_summary measure_beauquier_event_driven(const beauquier_protocol& proto,
                                                 const graph& g, int trials,

@@ -11,6 +11,7 @@
 #include "core/beauquier.h"
 #include "core/simulator.h"
 #include "dynamics/epidemic.h"
+#include "engine/engine.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -24,6 +25,9 @@ struct election_summary {
   double max_states_used = 0;      // empirical space complexity (census runs)
 };
 
+// Aggregates per-trial results into an election_summary.
+election_summary summarize_election_results(const std::vector<election_result>& results);
+
 // Runs `trials` independent elections of `proto` on `g` in parallel.
 template <typename P>
 election_summary measure_election(const P& proto, const graph& g, int trials,
@@ -36,21 +40,42 @@ election_summary measure_election(const P& proto, const graph& g, int trials,
         results[t] = run_until_stable(proto, g, seed_gen.fork(t), options);
       },
       threads);
+  return summarize_election_results(results);
+}
 
-  election_summary summary;
-  std::vector<double> steps;
-  int stabilized = 0;
-  for (const election_result& r : results) {
-    if (r.stabilized) {
-      ++stabilized;
-      steps.push_back(static_cast<double>(r.steps));
-    }
-    summary.max_states_used =
-        std::max(summary.max_states_used, static_cast<double>(r.distinct_states_used));
-  }
-  summary.stabilized_fraction = static_cast<double>(stabilized) / trials;
-  if (!steps.empty()) summary.steps = summarize(steps);
-  return summary;
+// States the reachable closure may intern before measure_election_fast falls
+// back to per-trial lazy tables (a closed table of k states is k² entries).
+inline constexpr std::size_t kEngineClosureBudget = 2048;
+
+// As measure_election, but on the compiled engine (src/engine/): trial t uses
+// the same seed_gen.fork(t) generator and the engine is draw-for-draw
+// equivalent to the reference simulator, so the summary is identical — only
+// faster.  When the protocol's reachable state space closes within
+// kEngineClosureBudget the compiled table is built once and shared read-only
+// across the worker threads; otherwise each trial compiles its own table
+// lazily (still fast: only pairs that occur are materialised).
+template <compilable_protocol P>
+election_summary measure_election_fast(const P& proto, const graph& g, int trials,
+                                       rng seed_gen, const sim_options& options = {},
+                                       std::size_t threads = 0) {
+  compiled_protocol<P> compiled(proto);
+  for (node_id v = 0; v < g.num_nodes(); ++v) compiled.intern(proto.initial_state(v));
+  const bool shared = compiled.close(kEngineClosureBudget);
+  const edge_endpoints edges(g);
+
+  std::vector<election_result> results(static_cast<std::size_t>(trials));
+  parallel_for(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        if (shared) {
+          results[t] = run_compiled(compiled, edges, g, seed_gen.fork(t), options);
+        } else {
+          compiled_protocol<P> local(proto);
+          results[t] = run_compiled(local, edges, g, seed_gen.fork(t), options);
+        }
+      },
+      threads);
+  return summarize_election_results(results);
 }
 
 // As `measure_election` for the Beauquier protocol, but with the event-driven

@@ -48,6 +48,7 @@ election_result run_until_stable(const P& proto, const graph& g, rng gen,
 
   std::unordered_set<std::uint64_t> census;
   if (options.state_census) {
+    census.reserve(static_cast<std::size_t>(n));
     for (const auto& s : config) census.insert(proto.encode(s));
   }
 
@@ -70,8 +71,15 @@ election_result run_until_stable(const P& proto, const graph& g, rng gen,
     proto.interact(a, b);
     tracker.on_interaction(proto, it.initiator, it.responder, old_a, old_b, a, b);
     if (options.state_census) {
-      census.insert(proto.encode(a));
-      census.insert(proto.encode(b));
+      // Every id in `config` is already in the census (initial states were
+      // inserted up front, transition results below), so no-op interactions
+      // — the overwhelming majority on sparse-token protocols — skip the
+      // hash-set probe entirely.  `encode` is injective, so comparing codes
+      // is exact state comparison without requiring operator== on states.
+      const std::uint64_t ea = proto.encode(a);
+      const std::uint64_t eb = proto.encode(b);
+      if (ea != proto.encode(old_a)) census.insert(ea);
+      if (eb != proto.encode(old_b)) census.insert(eb);
     }
   }
 

@@ -1,0 +1,51 @@
+// Block-buffered view over pp::rng for the compiled simulation engine.
+//
+// The reference simulator pays a non-inlined call into rng.cpp for every
+// scheduler draw.  `block_rng` pulls raw 64-bit outputs from the wrapped
+// generator in blocks of 1024 (one call per block via rng::fill) and applies
+// Lemire's multiply-shift rejection inline.  It consumes *exactly* the same
+// raw output stream, in the same order, as calling the generator directly,
+// and `uniform_below` replicates rng::uniform_below draw-for-draw (including
+// the rejection loop), so any simulation driven through block_rng is
+// bit-identical to one driven by the wrapped rng.  This is what makes the
+// engine/reference seeded-equivalence tests possible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "support/rng.h"
+
+namespace pp {
+
+class block_rng {
+ public:
+  explicit block_rng(rng gen) : gen_(gen) {}
+
+  // Next raw 64-bit draw (same stream as the wrapped generator's operator()).
+  std::uint64_t next() {
+    if (pos_ == kBlockSize) refill();
+    return buf_[pos_++];
+  }
+
+  // Uniform integer in [0, bound), bound >= 1.  Same shared Lemire kernel —
+  // and hence identical raw-draw consumption — as rng::uniform_below.
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    return lemire_uniform_below([this] { return next(); }, bound);
+  }
+
+ private:
+  static constexpr std::size_t kBlockSize = 1024;
+
+  void refill() {
+    gen_.fill(std::span<std::uint64_t>(buf_.data(), buf_.size()));
+    pos_ = 0;
+  }
+
+  rng gen_;
+  std::size_t pos_ = kBlockSize;
+  std::array<std::uint64_t, kBlockSize> buf_;
+};
+
+}  // namespace pp

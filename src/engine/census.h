@@ -1,0 +1,77 @@
+// census_traits specialisations for the library's counter-shaped protocols.
+//
+// Each specialisation mirrors the protocol's tracker_type add() / is_stable()
+// exactly (same counters, same predicate), so a compiled run declares
+// stability on precisely the same scheduler step as the reference simulator —
+// the property the engine/reference seeded-equivalence tests pin down.
+//
+// id_protocol is deliberately absent (its tracker keeps a hash census over
+// Θ(n⁴) identifiers), as is star_protocol (its predicate counts
+// undecided-undecided *edges*, which depends on node identity, not state
+// counts).  Both stay on the reference simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "core/beauquier.h"
+#include "core/fast_election.h"
+#include "core/majority.h"
+#include "engine/compiled_protocol.h"
+
+namespace pp {
+
+// Mirrors bq_counts: candidates, black tokens, white tokens.
+template <>
+struct census_traits<beauquier_protocol> {
+  static constexpr int kCounters = 3;
+  static void accumulate(const beauquier_protocol&, const bq_state& s,
+                         std::int64_t* t, std::int64_t sign) {
+    if (s.candidate) t[0] += sign;
+    if (s.token == bq_token::black) t[1] += sign;
+    if (s.token == bq_token::white) t[2] += sign;
+  }
+  static bool stable(const std::int64_t* t) {
+    return t[0] == 1 && t[1] == 1 && t[2] == 0;
+  }
+};
+
+// Mirrors fast_protocol::tracker_type: leader outputs plus the backup
+// instance's black/white token counts.
+template <>
+struct census_traits<fast_protocol> {
+  static constexpr int kCounters = 3;
+  static void accumulate(const fast_protocol& proto,
+                         const fast_protocol::state_type& s, std::int64_t* t,
+                         std::int64_t sign) {
+    if (proto.output(s) == role::leader) t[0] += sign;
+    if (s.in_backup) {
+      if (s.backup.token == bq_token::black) t[1] += sign;
+      if (s.backup.token == bq_token::white) t[2] += sign;
+    }
+  }
+  static bool stable(const std::int64_t* t) { return t[0] == 1 && t[2] == 0; }
+};
+
+// Mirrors majority_protocol::tracker_type: one sign owns the population.
+template <>
+struct census_traits<majority_protocol> {
+  static constexpr int kCounters = 4;
+  static void accumulate(const majority_protocol&,
+                         const majority_protocol::state_type& s, std::int64_t* t,
+                         std::int64_t sign) {
+    using st = majority_protocol::state_type;
+    switch (s) {
+      case st::strong_plus: t[0] += sign; break;
+      case st::strong_minus: t[1] += sign; break;
+      case st::weak_plus: t[2] += sign; break;
+      case st::weak_minus: t[3] += sign; break;
+    }
+  }
+  static bool stable(const std::int64_t* t) {
+    const bool plus_won = t[1] == 0 && t[3] == 0;
+    const bool minus_won = t[0] == 0 && t[2] == 0;
+    return plus_won || minus_won;
+  }
+};
+
+}  // namespace pp

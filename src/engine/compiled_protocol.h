@@ -1,0 +1,200 @@
+// Compiled transition tables for population protocols.
+//
+// Protocols in this library have small finite state spaces (the fast
+// protocol's |Λ| is O(log² n), Theorem 24), so the classic speedup applies:
+// intern every reachable state into a dense uint32 id and memoise the pair
+// transition (a, b) -> (a', b') in a flat table.  After compilation one
+// scheduler step is two array loads, one 12-byte table load and two stores —
+// no protocol logic, no branches on state contents.
+//
+// Each table entry also carries the interaction's effect on a small integer
+// census (leaders / tokens / opinion counts, see census_traits below), so the
+// per-protocol stability trackers of the reference simulator collapse to
+// "add 4 small ints, test a predicate" — and the state census that the
+// reference simulator pays an unordered_set probe for becomes a byte-array
+// mark on the interned id.
+//
+// The table is filled lazily: a pair is compiled the first time the scheduler
+// produces it, so huge products of *representable* states cost nothing —
+// only pairs that actually occur are materialised.  For protocols whose
+// reachable space is small, `close()` runs the pairwise reachability closure
+// from the initial states and precomputes every entry; a closed table is
+// immutable, which lets one compiled_protocol be shared read-only across the
+// threads of a parameter sweep.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.h"
+#include "support/expects.h"
+
+namespace pp {
+
+// census_traits<P>: a flat-integer mirror of P::tracker_type.
+//
+// A specialisation describes the protocol's stability predicate as a pure
+// function of a small vector of state counts:
+//   * kCounters                 — number of counters (<= kMaxCensusCounters);
+//   * accumulate(proto, s, t, sign) — add `sign` times state s's contribution
+//                                 to the counter array t (must mirror the
+//                                 tracker's add() exactly, so the compiled
+//                                 predicate fires on the same step);
+//   * stable(t)                 — the tracker's is_stable() over the totals.
+// Protocols whose trackers depend on node identity (e.g. star_protocol's
+// undecided-edge count) cannot be expressed this way and stay on the
+// reference simulator.
+template <typename P>
+struct census_traits;
+
+inline constexpr int kMaxCensusCounters = 4;
+
+template <typename P>
+concept compilable_protocol =
+    population_protocol<P> &&
+    requires(const P proto, const typename P::state_type& s, std::int64_t* t) {
+      { census_traits<P>::kCounters } -> std::convertible_to<int>;
+      { census_traits<P>::accumulate(proto, s, t, std::int64_t{1}) };
+      { census_traits<P>::stable(t) } -> std::same_as<bool>;
+    };
+
+template <compilable_protocol P>
+class compiled_protocol {
+ public:
+  using state_type = typename P::state_type;
+  using state_id = std::uint32_t;
+  static constexpr state_id kNotCompiled = UINT32_MAX;
+  static constexpr int kCounters = census_traits<P>::kCounters;
+  static_assert(kCounters >= 1 && kCounters <= kMaxCensusCounters);
+
+  // One compiled transition.  `a2` doubles as the fill sentinel: a real entry
+  // can never map the initiator to kNotCompiled.
+  struct entry {
+    state_id a2 = kNotCompiled;
+    state_id b2 = 0;
+    // Census change of applying the transition:
+    //   contribution(a2) + contribution(b2) - contribution(a) - contribution(b).
+    std::array<std::int8_t, kMaxCensusCounters> delta{};
+  };
+  static_assert(sizeof(entry) == 12);
+
+  // Borrows `proto`, which must outlive the compiled table.
+  explicit compiled_protocol(const P& proto) : proto_(&proto) {}
+
+  const P& protocol() const { return *proto_; }
+
+  // Dense id of `s`, interning it on first sight.  On a closed table every
+  // reachable state is already present, so this never mutates (and is safe
+  // to call concurrently); an unreachable state on a closed table is a
+  // contract violation and fails loudly.
+  state_id intern(const state_type& s) {
+    const auto found = index_.find(proto_->encode(s));
+    if (found != index_.end()) return found->second;
+    ensure(!closed_, "compiled_protocol: state outside the closed reachable set");
+    const auto id = static_cast<state_id>(states_.size());
+    index_.emplace(proto_->encode(s), id);
+    states_.push_back(s);
+    roles_.push_back(proto_->output(s));
+    contrib_.push_back(contribution_of(s));
+    if (states_.size() > cap_) grow();
+    return id;
+  }
+
+  std::size_t num_states() const { return states_.size(); }
+  const state_type& decode(state_id id) const {
+    return states_[static_cast<std::size_t>(id)];
+  }
+  role output(state_id id) const { return roles_[static_cast<std::size_t>(id)]; }
+
+  // Per-counter census contribution of one state (mirrors tracker add()).
+  const std::array<std::int8_t, kMaxCensusCounters>& contribution(state_id id) const {
+    return contrib_[static_cast<std::size_t>(id)];
+  }
+
+  // The compiled transition for the ordered pair (a, b), compiling it on
+  // first use.  Returned by value: a lazy compile may grow the table and
+  // relocate entries.
+  entry transition(state_id a, state_id b) {
+    const entry e = table_[static_cast<std::size_t>(a) * cap_ + b];
+    if (e.a2 != kNotCompiled) [[likely]] return e;
+    return compile_pair(a, b);
+  }
+
+  // Runs the pairwise reachability closure from the currently interned states
+  // and fills every (a, b) entry.  Returns false — leaving the table usable
+  // but lazy — if the closure would exceed `max_states`; returns true and
+  // freezes the table otherwise.
+  bool close(std::size_t max_states) {
+    std::size_t done = 0;  // all pairs over ids < done are compiled
+    while (done < states_.size()) {
+      if (states_.size() > max_states) return false;
+      const std::size_t k = states_.size();
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) {
+          if (a >= done || b >= done) {
+            transition(static_cast<state_id>(a), static_cast<state_id>(b));
+          }
+        }
+      }
+      done = k;
+    }
+    closed_ = states_.size() <= max_states;
+    return closed_;
+  }
+
+  bool closed() const { return closed_; }
+
+ private:
+  std::array<std::int8_t, kMaxCensusCounters> contribution_of(const state_type& s) const {
+    std::int64_t t[kMaxCensusCounters] = {};
+    census_traits<P>::accumulate(*proto_, s, t, +1);
+    std::array<std::int8_t, kMaxCensusCounters> c{};
+    for (int i = 0; i < kCounters; ++i) c[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(t[i]);
+    return c;
+  }
+
+  entry compile_pair(state_id a, state_id b) {
+    state_type sa = decode(a);
+    state_type sb = decode(b);
+    proto_->interact(sa, sb);
+    entry e;
+    e.a2 = intern(sa);  // may grow the table; index (a, b) is recomputed below
+    e.b2 = intern(sb);
+    for (int c = 0; c < kCounters; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      e.delta[i] = static_cast<std::int8_t>(contrib_[e.a2][i] + contrib_[e.b2][i] -
+                                            contrib_[a][i] - contrib_[b][i]);
+    }
+    table_[static_cast<std::size_t>(a) * cap_ + b] = e;
+    return e;
+  }
+
+  // Doubles the id capacity and re-lays the flat table out at the new pitch.
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+    std::vector<entry> new_table(new_cap * new_cap);
+    const std::size_t old = std::min(states_.size() - 1, cap_);
+    for (std::size_t a = 0; a < old; ++a) {
+      for (std::size_t b = 0; b < old; ++b) {
+        new_table[a * new_cap + b] = table_[a * cap_ + b];
+      }
+    }
+    cap_ = new_cap;
+    table_ = std::move(new_table);
+  }
+
+  const P* proto_;
+  std::size_t cap_ = 0;
+  std::vector<entry> table_;  // cap_² entries, index a * cap_ + b
+  std::vector<state_type> states_;
+  std::vector<role> roles_;
+  std::vector<std::array<std::int8_t, kMaxCensusCounters>> contrib_;
+  std::unordered_map<std::uint64_t, state_id> index_;  // encode(s) -> id
+  bool closed_ = false;
+};
+
+}  // namespace pp

@@ -1,0 +1,15 @@
+#include "engine/engine.h"
+
+namespace pp {
+
+edge_endpoints::edge_endpoints(const graph& g) {
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  pairs.resize(2 * m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const edge& e = g.edges()[k];
+    pairs[k] = {e.u, e.v};
+    pairs[m + k] = {e.v, e.u};
+  }
+}
+
+}  // namespace pp

@@ -1,0 +1,153 @@
+// The batched simulation engine: compiled transition tables + a branch-free
+// scheduler fast path.
+//
+// `run_until_stable_fast` computes exactly the same election_result as the
+// reference run_until_stable (same seed ⇒ same steps, leader, stabilized and
+// census — tested step-for-step in tests/test_engine.cpp) but executes each
+// scheduler step as:
+//   * one buffered Lemire draw in [0, 2m) (block_rng — no call, no modulo);
+//   * two loads from the doubled endpoint arrays (orientation is part of the
+//     index, so there is no flip branch);
+//   * one 12-byte compiled-table load and two config stores;
+//   * four integer adds onto the census totals and the stability predicate.
+// The reference path instead pays two non-inlined calls (scheduler + rng), a
+// 64-bit modulo, the full protocol transition logic and four tracker updates
+// per step; bench/engine.cpp measures the resulting speedup (≥5× on the
+// fast protocol across clique / ring / dense-random graphs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.h"
+#include "engine/block_rng.h"
+#include "engine/census.h"
+#include "engine/compiled_protocol.h"
+#include "graph/graph.h"
+#include "sched/scheduler.h"
+#include "support/expects.h"
+
+namespace pp {
+
+// The doubled edge list as one flat array of ordered pairs: index k < m is
+// edge k in its stored orientation, k in [m, 2m) is edge k - m flipped.  A
+// scheduler draw in [0, 2m) maps straight to pairs[k] — the same
+// pick-to-interaction mapping as edge_scheduler::next, made branch-free (no
+// modulo, no orientation flip) and one cache line per step instead of two.
+struct edge_endpoints {
+  explicit edge_endpoints(const graph& g);
+
+  std::vector<interaction> pairs;  // size 2m
+  std::uint64_t doubled() const { return static_cast<std::uint64_t>(pairs.size()); }
+};
+
+// Runs one election on a prepared compiled table and endpoint arrays.
+// `compiled` fills lazily during the run; if it is closed() the run never
+// mutates it, so a single closed table (and one edge_endpoints) can be shared
+// by concurrent trials of a parameter sweep.
+template <compilable_protocol P>
+election_result run_compiled(compiled_protocol<P>& compiled,
+                             const edge_endpoints& edges, const graph& g,
+                             rng gen, const sim_options& options = {}) {
+  using traits = census_traits<P>;
+  const P& proto = compiled.protocol();
+  const node_id n = g.num_nodes();
+  expects(edges.doubled() == 2 * static_cast<std::uint64_t>(g.num_edges()),
+          "run_compiled: endpoint arrays do not match the graph");
+  expects(g.num_edges() >= 1, "run_compiled: graph must have at least one edge");
+
+  std::vector<std::uint32_t> config(static_cast<std::size_t>(n));
+  std::int64_t totals[kMaxCensusCounters] = {};
+  for (node_id v = 0; v < n; ++v) {
+    const auto id = compiled.intern(proto.initial_state(v));
+    config[static_cast<std::size_t>(v)] = id;
+    const auto& c = compiled.contribution(id);
+    for (int i = 0; i < traits::kCounters; ++i) totals[i] += c[static_cast<std::size_t>(i)];
+  }
+
+  // With the census on, distinct states are a byte-mark per interned id:
+  // every id ever written into `config` gets marked, which is exactly the
+  // set the reference simulator's unordered_set accumulates.
+  std::vector<std::uint8_t> seen;
+  const bool census = options.state_census;
+  auto mark = [&](std::uint32_t id) {
+    if (id >= seen.size()) seen.resize(compiled.num_states(), 0);
+    seen[id] = 1;
+  };
+  if (census) {
+    for (const auto id : config) mark(id);
+  }
+
+  const std::uint64_t two_m = edges.doubled();
+  const interaction* const pairs = edges.pairs.data();
+  block_rng draw(gen);
+
+  // Picks are generated a batch ahead of their use: the draw stream does not
+  // depend on the configuration, so upcoming pair-array lines can be
+  // software-prefetched while earlier steps execute, hiding the per-step
+  // cache miss on large edge lists.  The draw *order* is unchanged, so runs
+  // stay bit-identical to the reference simulator; draws generated past the
+  // stopping step are simply discarded (the generator is owned by value).
+  constexpr std::size_t kBatch = 256;
+  constexpr std::size_t kAhead = 16;
+  std::uint64_t picks[kBatch];
+
+  election_result result;
+  std::uint64_t steps = 0;
+  while (!traits::stable(totals)) {
+    if (steps >= options.max_steps) {
+      result.steps = steps;
+      if (census) {
+        for (const auto s : seen) result.distinct_states_used += s;
+      }
+      return result;
+    }
+    for (std::size_t i = 0; i < kBatch; ++i) picks[i] = draw.uniform_below(two_m);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      if (traits::stable(totals) || steps >= options.max_steps) break;
+      if (i + kAhead < kBatch) {
+        __builtin_prefetch(&pairs[picks[i + kAhead]], /*rw=*/0, /*locality=*/1);
+      }
+      const interaction it = pairs[picks[i]];
+      const auto u = static_cast<std::size_t>(it.initiator);
+      const auto v = static_cast<std::size_t>(it.responder);
+      const auto e = compiled.transition(config[u], config[v]);
+      config[u] = e.a2;
+      config[v] = e.b2;
+      for (int c = 0; c < traits::kCounters; ++c) {
+        totals[c] += e.delta[static_cast<std::size_t>(c)];
+      }
+      ++steps;
+      if (census) {
+        mark(e.a2);
+        mark(e.b2);
+      }
+    }
+  }
+
+  result.stabilized = true;
+  result.steps = steps;
+  if (census) {
+    for (const auto s : seen) result.distinct_states_used += s;
+  }
+  for (node_id v = 0; v < n; ++v) {
+    if (compiled.output(config[static_cast<std::size_t>(v)]) == role::leader) {
+      result.leader = v;
+      break;
+    }
+  }
+  return result;
+}
+
+// Drop-in fast replacement for run_until_stable on compilable protocols:
+// compiles the protocol lazily and runs one election.  Same result as the
+// reference simulator for the same seed.
+template <compilable_protocol P>
+election_result run_until_stable_fast(const P& proto, const graph& g, rng gen,
+                                      const sim_options& options = {}) {
+  compiled_protocol<P> compiled(proto);
+  const edge_endpoints edges(g);
+  return run_compiled(compiled, edges, g, gen, options);
+}
+
+}  // namespace pp

@@ -38,6 +38,10 @@ rng::result_type rng::operator()() {
   return result;
 }
 
+void rng::fill(std::span<std::uint64_t> out) {
+  for (auto& word : out) word = operator()();
+}
+
 rng rng::fork(std::uint64_t index) const {
   // Mix the current state with the stream index through splitmix64 so that
   // forked streams do not overlap with the parent or with each other.
@@ -48,20 +52,7 @@ rng rng::fork(std::uint64_t index) const {
 
 std::uint64_t rng::uniform_below(std::uint64_t bound) {
   expects(bound >= 1, "rng::uniform_below: bound must be >= 1");
-  // Lemire's method: take the high 64 bits of a 128-bit product, rejecting
-  // the small biased region.
-  std::uint64_t x = operator()();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      x = operator()();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
+  return lemire_uniform_below([this] { return operator()(); }, bound);
 }
 
 std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {

@@ -8,11 +8,33 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace pp {
 
 // splitmix64 step: used for seeding and for deriving independent streams.
 std::uint64_t splitmix64(std::uint64_t& state);
+
+// Lemire's multiply-shift rejection method over an arbitrary source of raw
+// 64-bit draws: uniform in [0, bound), bound >= 1, unbiased.  Shared by
+// rng::uniform_below and the engine's block-buffered block_rng so the two
+// can never diverge — the engine's bit-identical-to-reference guarantee
+// rests on both consuming the same raw draws in the same order.
+template <typename Next>
+std::uint64_t lemire_uniform_below(Next&& next, std::uint64_t bound) {
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) [[unlikely]] {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
 
 // xoshiro256** 1.0 (Blackman & Vigna), a small, fast, high-quality PRNG.
 //
@@ -33,6 +55,12 @@ class rng {
 
   // Next 64 uniformly random bits.
   result_type operator()();
+
+  // Fills `out` with consecutive draws of operator().  Equivalent to calling
+  // the generator out.size() times, but the whole block is produced in one
+  // call so hot loops (the batched engine's block_rng) amortise the
+  // per-draw call overhead.
+  void fill(std::span<std::uint64_t> out);
 
   // Derives an independent generator for substream `index`.  Streams with
   // different (seed, index) pairs are statistically independent for all
