@@ -1,13 +1,23 @@
 // popsim: command-line driver for the library.
 //
-//   $ ./example_popsim_cli <family> <n> <protocol> [trials] [seed]
+//   $ ./example_popsim_cli <family> <n> <protocol> [--trials T] [--seed S]
+//                          [--engine auto|wellmixed]
 //
 //   family    clique | cycle | star | torus | er_dense | rr8
 //   protocol  fast | id | six | star
+//   --trials  independent elections to aggregate (default 5, >= 1)
+//   --seed    master seed; every reported number is reproducible from it
+//             (default 1)
+//   --engine  auto picks the fastest per-interaction simulator for the
+//             protocol; wellmixed runs the O(|Λ|)-memory multiset batch
+//             engine (clique family + fast/six protocols only), which never
+//             materialises the graph and reaches n = 10⁸
 //
 // Runs the chosen election, prints a summary, and emits the final
 // configuration as Graphviz DOT on request via POPSIM_DOT=1 — handy for
 // scripting sweeps beyond what the bench binaries cover.
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,10 +33,30 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: popsim <family> <n> <protocol> [trials] [seed]\n"
+               "usage: popsim <family> <n> <protocol> [--trials T] [--seed S]"
+               " [--engine auto|wellmixed]\n"
                "  family:   clique cycle star torus er_dense rr8\n"
-               "  protocol: fast id six star\n");
+               "  protocol: fast id six star\n"
+               "  --trials  positive trial count (default 5)\n"
+               "  --seed    64-bit master seed (default 1)\n"
+               "  --engine  wellmixed needs family=clique and protocol"
+               " fast|six\n");
   return 2;
+}
+
+// Strict full-string parse of a non-negative integer; returns false on any
+// trailing garbage, sign, or overflow, so typos fail loudly instead of
+// silently truncating (atoi accepted "10x" and "1e6" as 10 and 1).
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
 }
 
 }  // namespace
@@ -34,13 +64,84 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string family_name = argv[1];
-  const pp::node_id n = std::atoi(argv[2]);
+  std::uint64_t n_value = 0;
+  if (!parse_u64(argv[2], n_value) || n_value < 2 ||
+      n_value > static_cast<std::uint64_t>(INT32_MAX)) {
+    std::fprintf(stderr, "popsim: n must be an integer in [2, %d]\n", INT32_MAX);
+    return usage();
+  }
   const std::string protocol = argv[3];
-  const int trials = argc > 4 ? std::atoi(argv[4]) : 5;
-  const std::uint64_t seed_value = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
-  if (n < 2 || trials < 1) return usage();
+
+  std::uint64_t trials = 5;
+  std::uint64_t seed_value = 1;
+  std::string engine = "auto";
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--trials" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], trials) || trials < 1 || trials > 1'000'000) {
+        std::fprintf(stderr, "popsim: --trials must be in [1, 1000000]\n");
+        return usage();
+      }
+    } else if (flag == "--seed" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], seed_value)) {
+        std::fprintf(stderr, "popsim: --seed must be a 64-bit integer\n");
+        return usage();
+      }
+    } else if (flag == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+      if (engine != "auto" && engine != "wellmixed") {
+        std::fprintf(stderr, "popsim: unknown engine '%s'\n", engine.c_str());
+        return usage();
+      }
+    } else {
+      std::fprintf(stderr, "popsim: unknown or incomplete flag '%s'\n",
+                   flag.c_str());
+      return usage();
+    }
+  }
 
   pp::rng seed(seed_value);
+  const int trial_count = static_cast<int>(trials);
+
+  // --- well-mixed multiset engine: no graph object, clique only ---
+  if (engine == "wellmixed") {
+    if (family_name != "clique") {
+      std::fprintf(stderr,
+                   "popsim: --engine wellmixed simulates the well-mixed "
+                   "(clique) model only\n");
+      return usage();
+    }
+    const std::uint64_t n = n_value;
+    pp::election_summary summary;
+    if (protocol == "fast") {
+      const pp::fast_protocol proto(pp::fast_params::practical_clique(n));
+      summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
+    } else if (protocol == "six") {
+      const pp::beauquier_protocol proto(static_cast<pp::node_id>(n));
+      summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
+    } else {
+      std::fprintf(stderr,
+                   "popsim: --engine wellmixed supports protocols fast|six\n");
+      return usage();
+    }
+    std::printf("well-mixed clique: n=%llu (multiset configuration, no edge list)\n",
+                static_cast<unsigned long long>(n));
+    std::printf("stabilized: %.0f%% of %d trials\n",
+                100.0 * summary.stabilized_fraction, trial_count);
+    if (summary.steps.count > 0) {
+      std::printf("steps: mean %.3g (sd %.2g, median %.3g, [q10,q90]=[%.3g, %.3g])\n",
+                  summary.steps.mean, summary.steps.stddev, summary.steps.median,
+                  summary.steps.q10, summary.steps.q90);
+    }
+    // A stabilized trial has exactly one leader by the tracker's predicate;
+    // agents are exchangeable, so there is no node id to report.
+    if (summary.stabilized_fraction > 0) {
+      std::printf("stabilized trials elected a unique leader\n");
+    }
+    return 0;
+  }
+
+  const pp::node_id n = static_cast<pp::node_id>(n_value);
   const pp::graph_family* family = nullptr;
   try {
     family = &pp::family_by_name(family_name);
@@ -58,21 +159,21 @@ int main(int argc, char** argv) {
     const double b = pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
     const pp::fast_protocol proto(pp::fast_params::practical(g, b));
     // Compiled engine (src/engine/): same seeded results, ~5x the step rate.
-    summary = pp::measure_election_fast(proto, g, trials, seed.fork(2));
+    summary = pp::measure_election_fast(proto, g, trial_count, seed.fork(2));
     sample_leader = pp::run_until_stable_fast(proto, g, seed.fork(3)).leader;
   } else if (protocol == "id") {
     const pp::id_protocol proto(pp::id_protocol::suggested_k(g.num_nodes()));
-    summary = pp::measure_election(proto, g, trials, seed.fork(2));
+    summary = pp::measure_election(proto, g, trial_count, seed.fork(2));
     sample_leader = pp::run_until_stable(proto, g, seed.fork(3)).leader;
   } else if (protocol == "six") {
     const pp::beauquier_protocol proto(g.num_nodes());
-    summary = pp::measure_beauquier_event_driven(proto, g, trials, seed.fork(2),
-                                                 UINT64_MAX);
+    summary = pp::measure_beauquier_event_driven(proto, g, trial_count,
+                                                 seed.fork(2), UINT64_MAX);
     sample_leader =
         pp::run_beauquier_event_driven(proto, g, seed.fork(3), UINT64_MAX).leader;
   } else if (protocol == "star") {
     const pp::star_protocol proto;
-    summary = pp::measure_election(proto, g, trials, seed.fork(2),
+    summary = pp::measure_election(proto, g, trial_count, seed.fork(2),
                                    {.max_steps = 1'000'000});
     const auto r = pp::run_until_stable(proto, g, seed.fork(3),
                                         {.max_steps = 1'000'000});
@@ -82,7 +183,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("stabilized: %.0f%% of %d trials\n",
-              100.0 * summary.stabilized_fraction, trials);
+              100.0 * summary.stabilized_fraction, trial_count);
   if (summary.steps.count > 0) {
     std::printf("steps: mean %.0f (sd %.0f, median %.0f, [q10,q90]=[%.0f, %.0f])\n",
                 summary.steps.mean, summary.steps.stddev, summary.steps.median,

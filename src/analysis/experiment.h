@@ -12,6 +12,7 @@
 #include "core/simulator.h"
 #include "dynamics/epidemic.h"
 #include "engine/engine.h"
+#include "engine/wellmixed/wellmixed.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -72,6 +73,39 @@ election_summary measure_election_fast(const P& proto, const graph& g, int trial
         } else {
           compiled_protocol<P> local(proto);
           results[t] = run_compiled(local, edges, g, seed_gen.fork(t), options);
+        }
+      },
+      threads);
+  return summarize_election_results(results);
+}
+
+// Well-mixed (clique) sweep on the multiset batch engine: trial t runs
+// run_wellmixed with seed_gen.fork(t) on a population of n agents.  The O(n)
+// initial multiset is built once and shared by every trial, so each trial
+// costs only the O(|Λ|)-per-batch simulation; there is no graph object and
+// no Θ(n²) edge memory, which is what lets clique sweeps reach n = 10⁸.
+// Results agree with measure_election / measure_election_fast statistically
+// (bench/wellmixed.cpp pins the 3σ agreement), not per-seed — see
+// engine/wellmixed/README.md for the batching caveat.
+template <compilable_protocol P>
+election_summary measure_election_wellmixed(const P& proto, std::uint64_t n,
+                                            int trials, rng seed_gen,
+                                            const sim_options& options = {},
+                                            std::size_t threads = 0) {
+  const auto initial = initial_multiset(proto, n);
+  compiled_protocol<P> compiled(proto);
+  for (const auto& [state, k] : initial) compiled.intern(state);
+  const bool shared = compiled.close(kEngineClosureBudget);
+
+  std::vector<election_result> results(static_cast<std::size_t>(trials));
+  parallel_for(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        if (shared) {
+          results[t] = run_wellmixed(compiled, initial, n, seed_gen.fork(t), options);
+        } else {
+          compiled_protocol<P> local(proto);
+          results[t] = run_wellmixed(local, initial, n, seed_gen.fork(t), options);
         }
       },
       threads);

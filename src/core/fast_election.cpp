@@ -41,6 +41,22 @@ fast_params fast_params::practical(const graph& g, double broadcast_time) {
   return p;
 }
 
+fast_params fast_params::practical_clique(std::uint64_t n) {
+  expects(n >= 2, "fast_params::practical_clique: n must be >= 2");
+  const double dn = static_cast<double>(n);
+  // B(clique) = sum_i n(n-1) / (2 i (n-i)) = (n-1)·H_{n-1}, so the streak
+  // ratio B·Δ/m collapses to 2·B/n ≈ 2·H_{n-1}.
+  const double harmonic = std::log(dn) + 0.5772156649015329;
+  const double ratio = 2.0 * (dn - 1.0) * harmonic / dn;
+  fast_params p;
+  p.h = std::clamp(
+      2 + static_cast<int>(std::ceil(std::log2(std::max(1.0, ratio)))), 1, 30);
+  p.level_threshold =
+      std::max(1, static_cast<int>(std::ceil(2.0 * std::log2(dn))));
+  p.max_level = 4 * p.level_threshold;
+  return p;
+}
+
 fast_params fast_params::for_regular(const graph& g, double beta, int offset) {
   expects(beta > 0.0, "fast_params::for_regular: edge expansion must be positive");
   expects(g.min_degree() == g.max_degree(),

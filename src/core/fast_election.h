@@ -57,6 +57,12 @@ struct fast_params {
   // absolute step counts: h = 2 + ceil(log2(B·Δ/m)), L = ceil(2·log2 n), α = 4.
   static fast_params practical(const graph& g, double broadcast_time);
 
+  // `practical` for a clique of n nodes without materialising the graph
+  // (the well-mixed engine simulates cliques far past the Θ(n²) edge-list
+  // limit): uses the closed-form clique broadcast time (n−1)·H_{n−1}, so
+  // B·Δ/m = 2·B/n ≈ 2·ln n.
+  static fast_params practical_clique(std::uint64_t n);
+
   // Corollary 25 preset for Δ-regular graphs: instead of a measured B(G),
   // uses the Theorem 6 bound B <= (m/β)·log n, so the parameters depend only
   // on structural knowledge (n, m, Δ and the edge expansion β).  The streak

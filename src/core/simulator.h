@@ -32,6 +32,10 @@ struct election_result {
 struct sim_options {
   std::uint64_t max_steps = UINT64_MAX;
   bool state_census = false;
+  // Batch size for the well-mixed multiset engine (run_wellmixed); 0 picks
+  // n/64 automatically, and values above n are clamped to n.  Ignored by
+  // the per-interaction simulators.
+  std::uint64_t wellmixed_batch = 0;
 };
 
 // Runs `proto` on `g` from its initial configuration until the tracker

@@ -35,6 +35,17 @@ class block_rng {
     return lemire_uniform_below([this] { return next(); }, bound);
   }
 
+  // Mirrors rng::uniform01 draw-for-draw via the shared kernel.
+  double uniform01() {
+    return uniform01_from([this] { return next(); });
+  }
+
+  // Mirrors rng::geometric draw-for-draw via the shared kernel (one
+  // uniform01 per call).
+  std::uint64_t geometric(double p) {
+    return geometric_from([this] { return next(); }, p);
+  }
+
  private:
   static constexpr std::size_t kBlockSize = 1024;
 

@@ -62,8 +62,7 @@ std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double rng::uniform01() {
-  // 53 random bits into the mantissa: uniform on [0, 1).
-  return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  return uniform01_from([this] { return operator()(); });
 }
 
 bool rng::bernoulli(double p) {
@@ -72,15 +71,7 @@ bool rng::bernoulli(double p) {
 }
 
 std::uint64_t rng::geometric(double p) {
-  expects(p > 0.0 && p <= 1.0, "rng::geometric: p must be in (0, 1]");
-  if (p == 1.0) return 1;
-  // Inversion: ceil(log(U) / log(1-p)) with U ~ Uniform(0,1].
-  const double u = 1.0 - uniform01();  // in (0, 1]
-  const double draws = std::ceil(std::log(u) / std::log1p(-p));
-  if (draws < 1.0) return 1;
-  // Clamp astronomically unlikely overflows instead of wrapping.
-  if (draws >= 9.2e18) return std::numeric_limits<std::uint64_t>::max() / 2;
-  return static_cast<std::uint64_t>(draws);
+  return geometric_from([this] { return operator()(); }, p);
 }
 
 }  // namespace pp

@@ -6,9 +6,12 @@
 // run — including multithreaded parameter sweeps — bit-for-bit reproducible.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
+
+#include "support/expects.h"
 
 namespace pp {
 
@@ -34,6 +37,30 @@ std::uint64_t lemire_uniform_below(Next&& next, std::uint64_t bound) {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+
+// Uniform double in [0, 1) from one raw 64-bit draw (53 mantissa bits).
+// Shared by rng::uniform01 and block_rng::uniform01, so the two mirror each
+// other draw-for-draw by construction — the same pattern as the Lemire
+// kernel above.
+template <typename Next>
+double uniform01_from(Next&& next) {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+// Geometric(p) on {1, 2, ...} by inversion over one uniform01 draw; p in
+// (0, 1].  Shared by rng::geometric and block_rng::geometric.
+template <typename Next>
+std::uint64_t geometric_from(Next&& next, double p) {
+  expects(p > 0.0 && p <= 1.0, "geometric: p must be in (0, 1]");
+  if (p == 1.0) return 1;
+  // Inversion: ceil(log(U) / log(1-p)) with U ~ Uniform(0,1].
+  const double u = 1.0 - uniform01_from(next);  // in (0, 1]
+  const double draws = std::ceil(std::log(u) / std::log1p(-p));
+  if (draws < 1.0) return 1;
+  // Clamp astronomically unlikely overflows instead of wrapping.
+  if (draws >= 9.2e18) return std::numeric_limits<std::uint64_t>::max() / 2;
+  return static_cast<std::uint64_t>(draws);
 }
 
 // xoshiro256** 1.0 (Blackman & Vigna), a small, fast, high-quality PRNG.

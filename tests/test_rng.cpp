@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "engine/block_rng.h"
+
 namespace pp {
 namespace {
 
@@ -175,6 +177,94 @@ TEST(Rng, SplitmixAdvancesState) {
   const std::uint64_t a = splitmix64(s);
   const std::uint64_t b = splitmix64(s);
   EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------- block_rng
+//
+// The engine's bit-identical-to-reference guarantee rests on block_rng
+// replicating rng::uniform_below draw-for-draw, so the edge cases of the
+// shared Lemire kernel get dedicated coverage here: degenerate bound 1,
+// non-power-of-two bounds (nonzero rejection threshold), bounds near 2^63
+// (threshold close to bound, rejections frequent), and streams that cross
+// the 1024-word refill boundary.
+
+TEST(BlockRng, BoundOneIsAlwaysZero) {
+  rng reference(71);
+  block_rng buffered(rng(71));
+  // 3000 draws cross two refill boundaries; bound 1 consumes one raw draw
+  // each, exactly like rng::uniform_below.
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_EQ(buffered.uniform_below(1), 0u);
+    ASSERT_EQ(reference.uniform_below(1), 0u);
+  }
+  // The two generators consumed the same number of raw draws.
+  EXPECT_EQ(reference(), buffered.next());
+}
+
+TEST(BlockRng, NonPowerOfTwoBoundsMatchRng) {
+  rng reference(72);
+  block_rng buffered(rng(72));
+  const std::uint64_t bounds[] = {3, 5, 7, 10, 1000003, 6700417, (1ull << 40) - 27};
+  for (int round = 0; round < 2000; ++round) {
+    for (const std::uint64_t bound : bounds) {
+      ASSERT_EQ(reference.uniform_below(bound), buffered.uniform_below(bound));
+    }
+  }
+}
+
+TEST(BlockRng, HugeBoundsNearTwoToSixtyThree) {
+  // For bound > 2^63 the Lemire rejection threshold (2^64 mod bound) is
+  // bound-sized, so nearly half of all raw draws are rejected — the loop
+  // actually exercises its retry path here.
+  rng reference(73);
+  block_rng buffered(rng(73));
+  const std::uint64_t bounds[] = {(1ull << 63) - 1, (1ull << 63) + 1,
+                                  (1ull << 63) + (1ull << 62),
+                                  UINT64_MAX - 1, UINT64_MAX};
+  for (int round = 0; round < 2000; ++round) {
+    for (const std::uint64_t bound : bounds) {
+      const std::uint64_t expected = reference.uniform_below(bound);
+      ASSERT_EQ(expected, buffered.uniform_below(bound));
+      ASSERT_LT(expected, bound);
+    }
+  }
+}
+
+TEST(BlockRng, EquivalenceAcrossBlockBoundaries) {
+  // Mixed bound sizes for > 3 * 1024 raw draws: every refill boundary is
+  // crossed mid-rejection-loop at some point, and the streams must still
+  // agree draw-for-draw.
+  rng reference(74);
+  block_rng buffered(rng(74));
+  std::uint64_t mix = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < 5000; ++i) {
+    mix ^= mix << 13;
+    mix ^= mix >> 7;
+    mix ^= mix << 17;
+    const std::uint64_t bound = (mix % 3 == 0) ? (1ull << 63) + (mix >> 3)
+                                : (mix % 3 == 1) ? (mix % 97) + 1
+                                                 : (mix % 1000003) + 1;
+    ASSERT_EQ(reference.uniform_below(bound), buffered.uniform_below(bound))
+        << "diverged at draw " << i << " with bound " << bound;
+  }
+}
+
+TEST(BlockRng, Uniform01MirrorsRng) {
+  rng reference(75);
+  block_rng buffered(rng(75));
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_DOUBLE_EQ(reference.uniform01(), buffered.uniform01());
+  }
+}
+
+TEST(BlockRng, GeometricMirrorsRng) {
+  rng reference(76);
+  block_rng buffered(rng(76));
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_EQ(reference.geometric(0.125), buffered.geometric(0.125));
+  }
+  EXPECT_THROW(buffered.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(buffered.geometric(1.5), std::invalid_argument);
 }
 
 }  // namespace
