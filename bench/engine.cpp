@@ -36,6 +36,13 @@ struct cell {
   double ref_sps = 0;
   double engine_sps = 0;
   bool equal_steps = false;
+  // Resident hot-loop bytes of the engine run (u32 config + lazy table +
+  // doubled endpoint pairs) and the bytes one step touches (one pair, one
+  // table entry, two config words) — recorded so locality changes across
+  // PRs are attributable to layout, not just observed (bench/locality.cpp
+  // reports the same accounting for the packed widths).
+  std::size_t working_set = 0;
+  std::size_t step_bytes = 0;
   double speedup() const { return ref_sps > 0 ? engine_sps / ref_sps : 0; }
 };
 
@@ -84,6 +91,12 @@ cell run_cell(const std::string& protocol, const std::string& graph_name,
   if (engine_seconds > 0) {
     c.engine_sps = static_cast<double>(fast2.steps) / engine_seconds;
   }
+  c.working_set = static_cast<std::size_t>(c.n) * sizeof(std::uint32_t) +
+                  compiled.table_bytes() +
+                  edges.pairs.size() * sizeof(interaction);
+  c.step_bytes = sizeof(interaction) +
+                 sizeof(typename compiled_protocol<P>::entry) +
+                 2 * sizeof(std::uint32_t);
   return c;
 }
 
@@ -119,13 +132,16 @@ bool run() {
   }
 
   text_table table({"protocol", "graph", "n", "m", "steps", "ref steps/s",
-                    "engine steps/s", "speedup", "eq"});
+                    "engine steps/s", "speedup", "ws MB", "B/step", "eq"});
   for (const cell& c : cells) {
     table.add_row({c.protocol, c.graph_name, format_number(c.n),
                    format_number(static_cast<double>(c.m)),
                    format_number(static_cast<double>(c.steps)),
                    format_number(c.ref_sps, 3), format_number(c.engine_sps, 3),
-                   format_number(c.speedup(), 3), c.equal_steps ? "yes" : "NO"});
+                   format_number(c.speedup(), 3),
+                   format_number(static_cast<double>(c.working_set) / 1e6, 3),
+                   format_number(static_cast<double>(c.step_bytes)),
+                   c.equal_steps ? "yes" : "NO"});
   }
   bench::print_table(table);
 
@@ -144,6 +160,8 @@ bool run() {
     json.key("ref_steps_per_sec").value(c.ref_sps);
     json.key("engine_steps_per_sec").value(c.engine_sps);
     json.key("speedup").value(c.speedup());
+    json.key("working_set_bytes").value(static_cast<std::uint64_t>(c.working_set));
+    json.key("bytes_per_step").value(static_cast<std::uint64_t>(c.step_bytes));
     json.key("equal_steps").value(c.equal_steps);
     json.end_object();
   }

@@ -1,0 +1,334 @@
+// E16 — cache-locality engine overhaul (packed configurations + reordering).
+//
+// Two sections pin the PR's claims:
+//
+//   1. Equivalence gate (every scale): full elections at small n where the
+//      u8/u16/u32 packed paths must reproduce the lazy u32 engine's seeded
+//      results *bit-identically* at natural order — same steps, leader and
+//      stabilization — across beauquier/majority × clique/ring/grid.  CI
+//      fails if any cell breaks (the ISSUE's "equal_steps stays true").
+//
+//   2. Locality matrix (the scale proof): steps/sec of the tuned engine over
+//      the (config width × vertex order) grid on the sparse families the
+//      paper targets — ring, grid, torus — at n = 10⁶ (and 10⁷ at
+//      PP_BENCH_SCALE >= 2), against the PR 2 lazy u32 engine as baseline.
+//      Each cell reports its working-set bytes (config + table + pairs),
+//      bytes touched per step and the graph bandwidth of its order, so wins
+//      are attributable to layout, not just observed.  At full scale the
+//      acceptance gate requires the packed+RCM cell to reach >= 1.5x the
+//      baseline step rate on at least one family at n >= 10⁶.
+//
+// Emits BENCH_locality.json next to the tables.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+#include "core/beauquier.h"
+#include "core/majority.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/reorder.h"
+
+namespace pp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section 1: packed-width bit-identity on full elections.
+
+struct eq_cell {
+  std::string protocol;
+  std::string family;
+  node_id n = 0;
+  std::uint64_t steps = 0;
+  bool equal_steps = false;  // u8, u16 and u32 all match the lazy engine
+};
+
+template <typename P>
+eq_cell run_equivalence(const std::string& protocol, const std::string& family,
+                        const P& proto, const graph& g, std::uint64_t seed) {
+  eq_cell c;
+  c.protocol = protocol;
+  c.family = family;
+  c.n = g.num_nodes();
+  const sim_options options{.state_census = true};
+  const auto ref = run_until_stable_fast(proto, g, rng(seed), options);
+  c.steps = ref.steps;
+  c.equal_steps = true;
+  for (const int bits : {8, 16, 32}) {
+    const tuned_runner<P> runner(proto, g, {vertex_order::natural, bits});
+    const auto packed = runner.run(rng(seed), options);
+    c.equal_steps = c.equal_steps && packed.stabilized == ref.stabilized &&
+                    packed.steps == ref.steps && packed.leader == ref.leader &&
+                    packed.distinct_states_used == ref.distinct_states_used;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: the (width × order × family) throughput matrix.
+
+struct matrix_cell {
+  std::string family;
+  std::string order;
+  int pack_bits = 0;   // 0 marks the PR 2 lazy-engine baseline row
+  node_id n = 0;
+  std::int64_t m = 0;
+  node_id bw = 0;      // graph bandwidth under this order
+  std::uint64_t steps = 0;
+  double seconds = 0;
+  std::size_t working_set = 0;
+  std::size_t step_bytes = 0;
+  double sps() const { return seconds > 0 ? static_cast<double>(steps) / seconds : 0; }
+};
+
+graph make_family(const std::string& family, node_id n) {
+  if (family == "ring") return make_cycle(n);
+  const auto side = static_cast<node_id>(std::llround(std::sqrt(static_cast<double>(n))));
+  return make_grid_2d(side, side, family == "torus");
+}
+
+// PR 2 baseline: the lazy u32 engine on the natural order (run_compiled over
+// the doubled endpoint array).  Warm run untimed, as in bench/engine.cpp.
+matrix_cell baseline_cell(const std::string& family, const graph& g,
+                          std::uint64_t budget, std::uint64_t seed) {
+  matrix_cell c;
+  c.family = family;
+  c.order = "natural";
+  c.pack_bits = 0;
+  c.n = g.num_nodes();
+  c.m = g.num_edges();
+  c.bw = bandwidth(g);
+  const beauquier_protocol proto(g.num_nodes());
+  compiled_protocol<beauquier_protocol> compiled(proto);
+  const edge_endpoints edges(g);
+  run_compiled(compiled, edges, g, rng(seed), {.max_steps = budget / 8});
+  bench::stopwatch clock;
+  const auto r = run_compiled(compiled, edges, g, rng(seed + 1), {.max_steps = budget});
+  c.seconds = clock.seconds();
+  c.steps = r.steps;
+  c.working_set = static_cast<std::size_t>(c.n) * 4 + compiled.table_bytes() +
+                  edges.pairs.size() * sizeof(interaction);
+  c.step_bytes = sizeof(interaction) +
+                 sizeof(compiled_protocol<beauquier_protocol>::entry) + 2 * 4;
+  return c;
+}
+
+matrix_cell tuned_cell(const std::string& family, const graph& g,
+                       vertex_order order, int pack_bits, std::uint64_t budget,
+                       std::uint64_t seed) {
+  matrix_cell c;
+  c.family = family;
+  c.order = to_string(order);
+  c.pack_bits = pack_bits;
+  c.n = g.num_nodes();
+  c.m = g.num_edges();
+  const beauquier_protocol proto(g.num_nodes());
+  const tuned_runner<beauquier_protocol> runner(proto, g, {order, pack_bits});
+  c.bw = bandwidth(runner.run_graph());
+  c.working_set = runner.working_set_bytes();
+  c.step_bytes = runner.bytes_per_step();
+  runner.run(rng(seed), {.max_steps = budget / 8});
+  bench::stopwatch clock;
+  const auto r = runner.run(rng(seed + 1), {.max_steps = budget});
+  c.seconds = clock.seconds();
+  c.steps = r.steps;
+  return c;
+}
+
+bool run() {
+  bench::banner(
+      "E16", "cache-locality matrix (packed widths x vertex orders, src/engine/)",
+      "packed configurations (u8/u16/u32 + 4/8/12-byte entries), halved\n"
+      "endpoint arrays and BFS/RCM reordering vs the PR 2 lazy u32 engine\n"
+      "on the sparse families the paper targets.");
+
+  const double scale = bench_scale();
+  const bool full = scale >= 1.0;
+
+  // ---- 1. equivalence gate ----
+  std::vector<eq_cell> equivalence;
+  {
+    const graph clique = make_clique(256);
+    const graph ring = make_cycle(512);
+    const graph grid = make_grid_2d(23, 23, false);
+    equivalence.push_back(run_equivalence(
+        "beauquier", "clique", beauquier_protocol(256), clique, 900));
+    equivalence.push_back(run_equivalence(
+        "beauquier", "ring", beauquier_protocol(512), ring, 901));
+    equivalence.push_back(run_equivalence(
+        "beauquier", "grid", beauquier_protocol(529), grid, 902));
+    rng votes_gen(903);
+    equivalence.push_back(run_equivalence(
+        "majority", "ring",
+        majority_protocol(random_vote_assignment(512, 320, votes_gen)), ring,
+        904));
+  }
+
+  text_table eq_table({"protocol", "family", "n", "steps", "eq(u8,u16,u32)"});
+  bool equivalence_ok = true;
+  for (const auto& c : equivalence) {
+    equivalence_ok = equivalence_ok && c.equal_steps;
+    eq_table.add_row({c.protocol, c.family, format_number(c.n),
+                      format_number(static_cast<double>(c.steps)),
+                      c.equal_steps ? "yes" : "NO"});
+  }
+  bench::print_table(eq_table);
+
+  // ---- 2. locality matrix ----
+  // Below full scale the matrix shrinks with the budget so CI exercises
+  // every (width, order) code path without the multi-minute cells.
+  const node_id n_matrix = full ? 1'000'000 : std::max(4096, bench::scaled(1'000'000));
+  const auto budget = static_cast<std::uint64_t>(bench::scaled(200'000'000));
+  const std::vector<std::string> families{"ring", "grid", "torus"};
+  const vertex_order orders[] = {vertex_order::natural, vertex_order::bfs,
+                                 vertex_order::rcm};
+
+  std::vector<matrix_cell> matrix;
+  std::uint64_t seed = 1000;
+  for (const auto& family : families) {
+    const graph g = make_family(family, n_matrix);
+    matrix.push_back(baseline_cell(family, g, budget, seed));
+    seed += 2;
+    for (const auto order : orders) {
+      for (const int bits : {8, 16, 32}) {
+        matrix.push_back(tuned_cell(family, g, order, bits, budget, seed));
+        seed += 2;
+      }
+    }
+  }
+  if (scale >= 2.0) {
+    // The 10⁷ rows: the regime where the baseline's working set (~200 MB on
+    // the ring: 160 MB doubled pairs + 40 MB u32 config) outgrows this
+    // host's caches while the packed+RCM layout (~90 MB) does not.
+    for (const auto& family : {std::string("ring"), std::string("torus")}) {
+      const graph g = make_family(family, 10'000'000);
+      matrix.push_back(baseline_cell(family, g, budget, seed));
+      seed += 2;
+      matrix.push_back(tuned_cell(family, g, vertex_order::natural, 8, budget, seed));
+      seed += 2;
+      matrix.push_back(tuned_cell(family, g, vertex_order::rcm, 8, budget, seed));
+      seed += 2;
+      matrix.push_back(tuned_cell(family, g, vertex_order::rcm, 32, budget, seed));
+      seed += 2;
+    }
+  }
+
+  text_table mx_table({"family", "n", "order", "pack", "bandwidth", "ws MB",
+                       "B/step", "steps/s", "vs base"});
+  // The baseline row each cell is normalised against: same family, same n.
+  const auto base_sps = [&](const matrix_cell& c) {
+    for (const auto& b : matrix) {
+      if (b.pack_bits == 0 && b.family == c.family && b.n == c.n) return b.sps();
+    }
+    return 0.0;
+  };
+  for (const auto& c : matrix) {
+    const double base = base_sps(c);
+    mx_table.add_row(
+        {c.family, format_number(static_cast<double>(c.n)),
+         c.pack_bits == 0 ? "baseline" : c.order,
+         c.pack_bits == 0 ? "u32x2" : ("u" + std::to_string(c.pack_bits)),
+         format_number(static_cast<double>(c.bw)),
+         format_number(static_cast<double>(c.working_set) / 1e6, 3),
+         format_number(static_cast<double>(c.step_bytes)),
+         format_number(c.sps(), 3),
+         base > 0 ? format_number(c.sps() / base, 3) : "-"});
+  }
+  bench::print_table(mx_table);
+
+  // ---- acceptance (full scale only) ----
+  // Packed width + RCM combined must reach >= 1.5x the PR 2 engine on at
+  // least one sparse family at n >= 10⁶.
+  bool locality_ok = true;
+  double best_speedup = 0;
+  std::string best_label;
+  if (full) {
+    for (const auto& c : matrix) {
+      if (c.pack_bits == 0 || c.n < 1'000'000) continue;
+      if (c.order != "rcm" || c.pack_bits == 32) continue;
+      const double base = base_sps(c);
+      if (base <= 0) continue;
+      const double speedup = c.sps() / base;
+      if (speedup > best_speedup) {
+        best_speedup = speedup;
+        best_label = c.family + "@" + std::to_string(c.n) + " rcm/u" +
+                     std::to_string(c.pack_bits);
+      }
+    }
+    locality_ok = best_speedup >= 1.5;
+    std::printf(
+        "acceptance: best packed+RCM cell %s = %.2fx the PR 2 engine "
+        "(>= 1.5x enforced at n >= 1e6): %s\n",
+        best_label.c_str(), best_speedup, locality_ok ? "PASS" : "FAIL");
+  }
+
+  bench::json_writer json;
+  json.begin_object();
+  json.key("bench").value("locality");
+  json.key("scale").value(scale);
+  json.key("equivalence").begin_array();
+  for (const auto& c : equivalence) {
+    json.begin_object();
+    json.key("protocol").value(c.protocol);
+    json.key("family").value(c.family);
+    json.key("n").value(static_cast<std::int64_t>(c.n));
+    json.key("steps").value(c.steps);
+    json.key("equal_steps").value(c.equal_steps);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("matrix").begin_array();
+  for (const auto& c : matrix) {
+    json.begin_object();
+    json.key("family").value(c.family);
+    json.key("n").value(static_cast<std::int64_t>(c.n));
+    json.key("m").value(c.m);
+    json.key("order").value(c.pack_bits == 0 ? "baseline" : c.order);
+    json.key("pack_bits").value(c.pack_bits);
+    json.key("bandwidth").value(static_cast<std::int64_t>(c.bw));
+    json.key("steps").value(c.steps);
+    json.key("seconds").value(c.seconds);
+    json.key("steps_per_sec").value(c.sps());
+    json.key("working_set_bytes").value(static_cast<std::uint64_t>(c.working_set));
+    json.key("bytes_per_step").value(static_cast<std::uint64_t>(c.step_bytes));
+    const double base = base_sps(c);
+    json.key("speedup_vs_baseline").value(base > 0 ? c.sps() / base : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  if (full) {
+    json.key("best_packed_rcm_speedup").value(best_speedup);
+    json.key("best_packed_rcm_cell").value(best_label);
+  }
+  json.key("equivalence_pass").value(equivalence_ok);
+  json.key("locality_pass").value(locality_ok);
+  json.end_object();
+  json.write_file("BENCH_locality.json");
+
+  std::printf(
+      "Reading: the equivalence rows gate bit-identity of the packed widths;\n"
+      "the matrix attributes step-rate changes to working-set bytes (config\n"
+      "width, halved pairs, entry packing) and bandwidth (BFS/RCM orders).\n"
+      "Wrote BENCH_locality.json.\n");
+
+  if (!equivalence_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a packed width broke bit-identity with the lazy u32 "
+                 "engine (eq = NO above).\n");
+  }
+  if (!locality_ok) {
+    std::fprintf(stderr,
+                 "FAIL: packed+RCM did not reach 1.5x the PR 2 engine on any "
+                 "sparse family at n >= 1e6.\n");
+  }
+  return equivalence_ok && locality_ok;
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() { return pp::run() ? 0 : 1; }

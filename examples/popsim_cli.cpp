@@ -1,7 +1,8 @@
 // popsim: command-line driver for the library.
 //
 //   $ ./example_popsim_cli <family> <n> <protocol> [--trials T] [--seed S]
-//                          [--engine auto|wellmixed]
+//                          [--engine auto|wellmixed] [--order natural|bfs|rcm]
+//                          [--pack auto|8|16|32]
 //
 //   family    clique | cycle | star | torus | er_dense | rr8
 //   protocol  fast | id | six | star
@@ -12,6 +13,13 @@
 //             protocol; wellmixed runs the O(|Λ|)-memory multiset batch
 //             engine (clique family + fast/six protocols only), which never
 //             materialises the graph and reaches n = 10⁸
+//   --order   vertex order for the compiled engine (protocol fast): natural
+//             keeps per-seed reproducibility with the reference simulator;
+//             bfs/rcm relabel the graph for cache locality (statistically
+//             equivalent, different seeded trajectories)
+//   --pack    config word width for the compiled engine (protocol fast):
+//             auto picks the narrowest width holding |Λ|; 8/16/32 force one
+//             and fail loudly if the state space does not fit
 //
 // Runs the chosen election, prints a summary, and emits the final
 // configuration as Graphviz DOT on request via POPSIM_DOT=1 — handy for
@@ -20,7 +28,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/experiment.h"
 #include "core/fast_election.h"
@@ -34,13 +44,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: popsim <family> <n> <protocol> [--trials T] [--seed S]"
-               " [--engine auto|wellmixed]\n"
+               " [--engine auto|wellmixed] [--order natural|bfs|rcm]"
+               " [--pack auto|8|16|32]\n"
                "  family:   clique cycle star torus er_dense rr8\n"
                "  protocol: fast id six star\n"
                "  --trials  positive trial count (default 5)\n"
                "  --seed    64-bit master seed (default 1)\n"
                "  --engine  wellmixed needs family=clique and protocol"
-               " fast|six\n");
+               " fast|six\n"
+               "  --order   vertex relabelling for the compiled engine"
+               " (protocol fast only; default natural)\n"
+               "  --pack    config word width for the compiled engine"
+               " (protocol fast only; default auto)\n");
   return 2;
 }
 
@@ -75,6 +90,8 @@ int main(int argc, char** argv) {
   std::uint64_t trials = 5;
   std::uint64_t seed_value = 1;
   std::string engine = "auto";
+  pp::engine_tuning tuning;
+  bool tuning_requested = false;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--trials" && i + 1 < argc) {
@@ -93,6 +110,24 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "popsim: unknown engine '%s'\n", engine.c_str());
         return usage();
       }
+    } else if (flag == "--order" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (!pp::parse_vertex_order(name, tuning.order)) {
+        std::fprintf(stderr, "popsim: unknown order '%s'\n", name.c_str());
+        return usage();
+      }
+      tuning_requested = true;
+    } else if (flag == "--pack" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "auto") {
+        tuning.pack_bits = 0;
+      } else if (name == "8" || name == "16" || name == "32") {
+        tuning.pack_bits = std::atoi(name.c_str());
+      } else {
+        std::fprintf(stderr, "popsim: --pack must be auto, 8, 16 or 32\n");
+        return usage();
+      }
+      tuning_requested = true;
     } else {
       std::fprintf(stderr, "popsim: unknown or incomplete flag '%s'\n",
                    flag.c_str());
@@ -105,6 +140,12 @@ int main(int argc, char** argv) {
 
   // --- well-mixed multiset engine: no graph object, clique only ---
   if (engine == "wellmixed") {
+    if (tuning_requested) {
+      std::fprintf(stderr,
+                   "popsim: --order/--pack tune the per-interaction compiled "
+                   "engine; the wellmixed engine has no node array to pack\n");
+      return usage();
+    }
     if (family_name != "clique") {
       std::fprintf(stderr,
                    "popsim: --engine wellmixed simulates the well-mixed "
@@ -141,6 +182,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Reject tuning flags for non-engine protocols before paying for the
+  // graph construction (a dense family at large n is expensive to build).
+  if (tuning_requested && protocol != "fast") {
+    std::fprintf(stderr,
+                 "popsim: --order/--pack apply to the compiled engine, i.e. "
+                 "protocol fast\n");
+    return usage();
+  }
+
   const pp::node_id n = static_cast<pp::node_id>(n_value);
   const pp::graph_family* family = nullptr;
   try {
@@ -158,9 +208,25 @@ int main(int argc, char** argv) {
   if (protocol == "fast") {
     const double b = pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
     const pp::fast_protocol proto(pp::fast_params::practical(g, b));
-    // Compiled engine (src/engine/): same seeded results, ~5x the step rate.
-    summary = pp::measure_election_fast(proto, g, trial_count, seed.fork(2));
-    sample_leader = pp::run_until_stable_fast(proto, g, seed.fork(3)).leader;
+    // Tuned compiled engine (src/engine/): the runner resolves the data
+    // layout (vertex order, config/table word widths) once and shares it
+    // across the trials.  Defaults (natural order, auto width) reproduce the
+    // reference simulator's seeded results exactly.
+    std::optional<pp::tuned_runner<pp::fast_protocol>> prepared;
+    try {
+      prepared.emplace(proto, g, tuning);
+    } catch (const std::invalid_argument& e) {
+      // e.g. --pack 8 when |Λ| > 256, or a forced width on an unclosable
+      // table: report instead of aborting.
+      std::fprintf(stderr, "popsim: %s\n", e.what());
+      return usage();
+    }
+    const pp::tuned_runner<pp::fast_protocol>& runner = *prepared;
+    std::printf("engine: order=%s pack=u%d%s\n", pp::to_string(runner.order()),
+                runner.pack_bits(),
+                runner.packed() ? "" : " (lazy fallback: |Lambda| beyond the closure budget)");
+    summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2));
+    sample_leader = runner.run(seed.fork(3)).leader;
   } else if (protocol == "id") {
     const pp::id_protocol proto(pp::id_protocol::suggested_k(g.num_nodes()));
     summary = pp::measure_election(proto, g, trial_count, seed.fork(2));

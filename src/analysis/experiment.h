@@ -44,9 +44,9 @@ election_summary measure_election(const P& proto, const graph& g, int trials,
   return summarize_election_results(results);
 }
 
-// States the reachable closure may intern before measure_election_fast falls
-// back to per-trial lazy tables (a closed table of k states is k² entries).
-inline constexpr std::size_t kEngineClosureBudget = 2048;
+// kEngineClosureBudget — the states the reachable closure may intern before
+// sweeps fall back to per-trial lazy tables — lives in engine/engine.h next
+// to the tuned_runner that shares it.
 
 // As measure_election, but on the compiled engine (src/engine/): trial t uses
 // the same seed_gen.fork(t) generator and the engine is draw-for-draw
@@ -77,6 +77,48 @@ election_summary measure_election_fast(const P& proto, const graph& g, int trial
       },
       threads);
   return summarize_election_results(results);
+}
+
+// As measure_election_fast, but through the tuned packed engine
+// (engine/engine.h): the vertex order (natural / BFS / RCM relabelling) and
+// the config word width are resolved once by a shared tuned_runner, and every
+// trial reuses its packed table, packed endpoint array and relabelled graph.
+// With the default tuning's natural order the summary is bit-identical to
+// measure_election_fast (and hence to the reference simulator) per seed at
+// every width; reordered runs execute the same process on an isomorphic graph
+// — initial states and leaders ride the permutation — so every statistic's
+// *distribution* is unchanged but per-seed equality is traded for 3σ
+// statistical agreement, the same contract as the well-mixed engine.
+template <compilable_protocol P>
+election_summary measure_election_tuned(const tuned_runner<P>& runner,
+                                        int trials, rng seed_gen,
+                                        const sim_options& options = {},
+                                        std::size_t threads = 0) {
+  std::vector<election_result> results(static_cast<std::size_t>(trials));
+  parallel_for(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) { results[t] = runner.run(seed_gen.fork(t), options); },
+      threads);
+  return summarize_election_results(results);
+}
+
+template <compilable_protocol P>
+election_summary measure_election_tuned(const P& proto, const graph& g,
+                                        int trials, rng seed_gen,
+                                        const sim_options& options = {},
+                                        const engine_tuning& tuning = {},
+                                        std::size_t threads = 0) {
+  const tuned_runner<P> runner(proto, g, tuning);
+  return measure_election_tuned(runner, trials, seed_gen, options, threads);
+}
+
+// One tuned election (single-run convenience over tuned_runner; callers that
+// run many trials should build the runner once instead).
+template <compilable_protocol P>
+election_result run_election_tuned(const P& proto, const graph& g, rng gen,
+                                   const sim_options& options = {},
+                                   const engine_tuning& tuning = {}) {
+  return tuned_runner<P>(proto, g, tuning).run(gen, options);
 }
 
 // Well-mixed (clique) sweep on the multiset batch engine: trial t runs

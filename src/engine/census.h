@@ -5,6 +5,14 @@
 // stability on precisely the same scheduler step as the reference simulator —
 // the property the engine/reference seeded-equivalence tests pin down.
 //
+// Every accumulate() below contributes 0 or 1 per counter per state, so a
+// transition's census delta — contribution(a') + contribution(b') -
+// contribution(a) - contribution(b) — lies in [-2, 2].  The packed u8 table
+// entries (compiled_protocol.h) re-encode deltas as signed nibbles and rely
+// on that bound; it is re-checked dynamically at pack time
+// (compiled_protocol::deltas_fit_nibble), so a future trait with weighted
+// contributions would fall back to the wider packing rather than miscompile.
+//
 // id_protocol is deliberately absent (its tracker keeps a hash census over
 // Θ(n⁴) identifiers), as is star_protocol (its predicate counts
 // undecided-undecided *edges*, which depends on node identity, not state

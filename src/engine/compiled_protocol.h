@@ -27,6 +27,9 @@
 #include <array>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -124,6 +127,47 @@ class compiled_protocol {
     return compile_pair(a, b);
   }
 
+  // Read-only transition lookup; only valid on a closed table, where every
+  // pair is already compiled.
+  const entry& closed_transition(state_id a, state_id b) const {
+    ensure(closed_, "compiled_protocol: closed_transition on an open table");
+    return table_[static_cast<std::size_t>(a) * cap_ + b];
+  }
+
+  // Dense id of an already-interned state; never interns (usable through a
+  // const reference shared across sweep threads).  An unknown state is a
+  // contract violation.
+  state_id id_of(const state_type& s) const {
+    const auto found = index_.find(proto_->encode(s));
+    expects(found != index_.end(), "compiled_protocol: id_of on an unknown state");
+    return found->second;
+  }
+
+  // True iff every compiled census delta component fits a signed nibble
+  // ([-8, 7]) — the precondition for the 4-byte packed_entry<uint8_t> below.
+  // All census_traits in this library contribute 0/1 flags per counter, so
+  // deltas live in [-2, 2] and this holds; a future trait with weighted
+  // contributions degrades to the u16 packing instead of miscompiling.
+  // Requires a closed table.
+  bool deltas_fit_nibble() const {
+    ensure(closed_, "compiled_protocol: deltas_fit_nibble on an open table");
+    const std::size_t k = states_.size();
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) {
+        const entry& e = table_[a * cap_ + b];
+        for (int c = 0; c < kCounters; ++c) {
+          const int d = e.delta[static_cast<std::size_t>(c)];
+          if (d < -8 || d > 7) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Resident bytes of the flat transition table (capacity, not just the
+  // interned prefix) — the table term of the engine's working set.
+  std::size_t table_bytes() const { return cap_ * cap_ * sizeof(entry); }
+
   // Runs the pairwise reachability closure from the currently interned states
   // and fills every (a, b) entry.  Returns false — leaving the table usable
   // but lazy — if the closure would exceed `max_states`; returns true and
@@ -195,6 +239,118 @@ class compiled_protocol {
   std::vector<std::array<std::int8_t, kMaxCensusCounters>> contrib_;
   std::unordered_map<std::uint64_t, state_id> index_;  // encode(s) -> id
   bool closed_ = false;
+};
+
+// ----------------------------------------------------------------------------
+// Packed transition entries.
+//
+// Once a table is closed, |Λ| is known, so state ids can be stored at the
+// narrowest width that holds them: u8 when |Λ| <= 256, u16 when <= 65536, u32
+// otherwise.  The per-step table load shrinks with the ids — 4 bytes (u8,
+// census delta re-encoded as four signed nibbles), 8 bytes (u16) or the
+// original 12 (u32) — and, more importantly, so does the n-word config array
+// the engine's two random touches per step land in.  packed_entry<W> mirrors
+// compiled_protocol::entry's semantics exactly: delta_nonzero() is false iff
+// the wide entry's delta word is all-zero, and delta_of(c) returns the same
+// int8 value, so a packed run declares stability on the same step as the
+// wide run (the bit-identity the engine tests pin).
+
+// Primary template: W-wide ids + the wide entry's int8 delta array (8 bytes
+// at u16, 12 at u32).  The u8 specialization below compresses further.
+template <typename W>
+struct packed_entry {
+  W a2 = 0;
+  W b2 = 0;
+  std::array<std::int8_t, kMaxCensusCounters> delta{};
+
+  bool delta_nonzero() const {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(delta));
+    std::memcpy(&bits, delta.data(), sizeof(bits));
+    return bits != 0;
+  }
+  std::int64_t delta_of(int c) const { return delta[static_cast<std::size_t>(c)]; }
+};
+
+template <>
+struct packed_entry<std::uint8_t> {
+  std::uint8_t a2 = 0;
+  std::uint8_t b2 = 0;
+  // Census delta as four signed nibbles (counter c occupies bits [4c, 4c+4)).
+  // A zero word means "no census change" — the same test as the wide entry's
+  // delta_bits != 0, because a nibble encodes 0 iff the delta is 0.  Nibble
+  // range is checked at pack time via deltas_fit_nibble().
+  std::uint16_t delta = 0;
+
+  static bool delta_fits(int d) { return d >= -8 && d <= 7; }
+  static std::uint16_t encode_delta(
+      const std::array<std::int8_t, kMaxCensusCounters>& d) {
+    std::uint16_t word = 0;
+    for (int c = 0; c < kMaxCensusCounters; ++c) {
+      word = static_cast<std::uint16_t>(
+          word | static_cast<std::uint16_t>(
+                     (static_cast<std::uint16_t>(d[static_cast<std::size_t>(c)]) & 0xF)
+                     << (4 * c)));
+    }
+    return word;
+  }
+
+  bool delta_nonzero() const { return delta != 0; }
+  std::int64_t delta_of(int c) const {
+    // Place the nibble in a byte's high half, then sign-extend with an
+    // arithmetic shift (well-defined since C++20).
+    const auto high = static_cast<std::uint8_t>((delta >> (4 * c)) << 4);
+    return static_cast<std::int8_t>(high) >> 4;
+  }
+};
+static_assert(sizeof(packed_entry<std::uint8_t>) == 4);
+static_assert(sizeof(packed_entry<std::uint16_t>) == 8);
+static_assert(sizeof(packed_entry<std::uint32_t>) == 12);
+
+// Immutable snapshot of a closed compiled table at word width W, laid out as
+// a dense k×k array of packed entries (k = |Λ|, no capacity padding — the
+// rows sit back to back, so the table's cache footprint is exactly
+// k²·sizeof(packed_entry<W>)).  Built once per (protocol, width) and shared
+// read-only across the trials of a sweep, like the closed table it snapshots.
+template <typename W, compilable_protocol P>
+class packed_table {
+ public:
+  explicit packed_table(const compiled_protocol<P>& compiled) {
+    expects(compiled.closed(), "packed_table: requires a closed compiled table");
+    k_ = compiled.num_states();
+    expects(k_ <= static_cast<std::size_t>(std::numeric_limits<W>::max()) + 1,
+            "packed_table: state ids do not fit the word width");
+    if constexpr (std::is_same_v<W, std::uint8_t>) {
+      expects(compiled.deltas_fit_nibble(),
+              "packed_table: census deltas do not fit the u8 nibble encoding");
+    }
+    entries_.resize(k_ * k_);
+    using state_id = typename compiled_protocol<P>::state_id;
+    for (std::size_t a = 0; a < k_; ++a) {
+      for (std::size_t b = 0; b < k_; ++b) {
+        const auto& e = compiled.closed_transition(static_cast<state_id>(a),
+                                                   static_cast<state_id>(b));
+        packed_entry<W>& p = entries_[a * k_ + b];
+        p.a2 = static_cast<W>(e.a2);
+        p.b2 = static_cast<W>(e.b2);
+        if constexpr (std::is_same_v<W, std::uint8_t>) {
+          p.delta = packed_entry<std::uint8_t>::encode_delta(e.delta);
+        } else {
+          p.delta = e.delta;
+        }
+      }
+    }
+  }
+
+  packed_entry<W> at(std::size_t a, std::size_t b) const {
+    return entries_[a * k_ + b];
+  }
+  std::size_t num_states() const { return k_; }
+  std::size_t bytes() const { return entries_.size() * sizeof(packed_entry<W>); }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<packed_entry<W>> entries_;
 };
 
 }  // namespace pp

@@ -16,10 +16,31 @@
 // 64-bit modulo, the full protocol transition logic and four tracker updates
 // per step; bench/engine.cpp measures the resulting speedup (≥5× on the
 // fast protocol across clique / ring / dense-random graphs).
+//
+// On top of that lazy u32 path, `run_packed` + `tuned_runner` rebuild the hot
+// loop's data layout around cache locality (bench/locality.cpp measures the
+// effect; src/engine/README.md documents the layout):
+//   * config words packed to the narrowest width holding |Λ| (u8/u16/u32),
+//     with correspondingly packed 4/8/12-byte table entries (packed_table);
+//   * a single-orientation endpoint array (half the memory of the doubled
+//     one; the draw's orientation bit becomes two conditional moves);
+//   * a two-level software-prefetch pipeline: endpoint pairs a batch-lag
+//     ahead, then the two config words of each upcoming pair;
+//   * optional BFS/RCM vertex reordering (graph/reorder.h) so the two config
+//     touches of mesh-like families land on nearby cache lines.
+// At equal (seed, graph, natural order) a packed run is bit-identical to
+// run_compiled at every width — tests/test_engine_packed.cpp pins u8/u16/u32
+// against the reference.  Reordered runs execute the identical process on an
+// isomorphic graph (initial states and the reported leader ride the
+// permutation), so they agree statistically — the wellmixed 3σ contract —
+// but not per seed.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <optional>
+#include <variant>
 #include <vector>
 
 #include "core/simulator.h"
@@ -27,6 +48,7 @@
 #include "engine/census.h"
 #include "engine/compiled_protocol.h"
 #include "graph/graph.h"
+#include "graph/reorder.h"
 #include "sched/scheduler.h"
 #include "support/expects.h"
 
@@ -44,25 +66,61 @@ struct edge_endpoints {
   std::uint64_t doubled() const { return static_cast<std::uint64_t>(pairs.size()); }
 };
 
+// Smallest-id node with leader output in `config` — original ids when
+// `old_of_new` is given (reordered runs), run-graph ids otherwise.  Shared by
+// run_compiled and run_packed so the two epilogues cannot drift apart and
+// silently break their bit-identity contract.
+template <typename W, typename OutputFn>
+node_id elected_leader(const std::vector<W>& config, OutputFn&& output,
+                       const std::vector<node_id>* old_of_new) {
+  const auto n = static_cast<node_id>(config.size());
+  if (old_of_new == nullptr) {
+    for (node_id v = 0; v < n; ++v) {
+      if (output(config[static_cast<std::size_t>(v)]) == role::leader) return v;
+    }
+    return -1;
+  }
+  node_id leader = -1;
+  for (node_id v = 0; v < n; ++v) {
+    if (output(config[static_cast<std::size_t>(v)]) == role::leader) {
+      const node_id original = (*old_of_new)[static_cast<std::size_t>(v)];
+      if (leader < 0 || original < leader) leader = original;
+    }
+  }
+  return leader;
+}
+
 // Runs one election on a prepared compiled table and endpoint arrays.
 // `compiled` fills lazily during the run; if it is closed() the run never
 // mutates it, so a single closed table (and one edge_endpoints) can be shared
 // by concurrent trials of a parameter sweep.
+//
+// `old_of_new`, when given, maps the run's node ids back to the caller's
+// (pre-relabelling) ids: node v starts in initial_state(old_of_new[v]) and
+// the reported leader is the smallest *original* id with leader output, so a
+// run on a relabelled graph is the exact original process under an
+// isomorphism.  nullptr (the default) leaves behaviour — and the PR 2
+// bit-identity with the reference simulator — untouched.
 template <compilable_protocol P>
 election_result run_compiled(compiled_protocol<P>& compiled,
                              const edge_endpoints& edges, const graph& g,
-                             rng gen, const sim_options& options = {}) {
+                             rng gen, const sim_options& options = {},
+                             const std::vector<node_id>* old_of_new = nullptr) {
   using traits = census_traits<P>;
   const P& proto = compiled.protocol();
   const node_id n = g.num_nodes();
   expects(edges.doubled() == 2 * static_cast<std::uint64_t>(g.num_edges()),
           "run_compiled: endpoint arrays do not match the graph");
   expects(g.num_edges() >= 1, "run_compiled: graph must have at least one edge");
+  expects(old_of_new == nullptr ||
+              old_of_new->size() == static_cast<std::size_t>(n),
+          "run_compiled: node map does not match the graph");
 
   std::vector<std::uint32_t> config(static_cast<std::size_t>(n));
   std::int64_t totals[kMaxCensusCounters] = {};
   for (node_id v = 0; v < n; ++v) {
-    const auto id = compiled.intern(proto.initial_state(v));
+    const node_id src = old_of_new ? (*old_of_new)[static_cast<std::size_t>(v)] : v;
+    const auto id = compiled.intern(proto.initial_state(src));
     config[static_cast<std::size_t>(v)] = id;
     const auto& c = compiled.contribution(id);
     for (int i = 0; i < traits::kCounters; ++i) totals[i] += c[static_cast<std::size_t>(i)];
@@ -152,12 +210,8 @@ election_result run_compiled(compiled_protocol<P>& compiled,
   if (census) {
     for (const auto s : seen) result.distinct_states_used += s;
   }
-  for (node_id v = 0; v < n; ++v) {
-    if (compiled.output(config[static_cast<std::size_t>(v)]) == role::leader) {
-      result.leader = v;
-      break;
-    }
-  }
+  result.leader = elected_leader(
+      config, [&](std::uint32_t id) { return compiled.output(id); }, old_of_new);
   return result;
 }
 
@@ -171,5 +225,352 @@ election_result run_until_stable_fast(const P& proto, const graph& g, rng gen,
   const edge_endpoints edges(g);
   return run_compiled(compiled, edges, g, gen, options);
 }
+
+// ----------------------------------------------------------------------------
+// Packed configurations (the cache-locality fast path).
+
+// Single-orientation endpoint array at node word width N (u16 when n fits,
+// u32 otherwise).  Each edge is stored once in its canonical u < v
+// orientation; run_packed folds the orientation half of the scheduler draw
+// k ∈ [0, 2m) into two conditional moves (k >= m swaps the endpoints), which
+// halves the randomly-accessed endpoint working set relative to
+// edge_endpoints' doubled array — the dominant term on sparse graphs, where
+// the pair array is 4×–8× the config array.
+template <typename N>
+struct packed_endpoints {
+  struct pair_type {
+    N a;
+    N b;
+  };
+
+  explicit packed_endpoints(const graph& g) {
+    expects(g.num_edges() >= 1,
+            "packed_endpoints: graph must have at least one edge");
+    expects(static_cast<std::uint64_t>(g.num_nodes() - 1) <=
+                static_cast<std::uint64_t>(std::numeric_limits<N>::max()),
+            "packed_endpoints: node ids do not fit the word width");
+    pairs.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const edge& e : g.edges()) {
+      pairs.push_back({static_cast<N>(e.u), static_cast<N>(e.v)});
+    }
+  }
+
+  std::vector<pair_type> pairs;  // size m, stored (u < v) orientation
+  std::size_t bytes() const { return pairs.size() * sizeof(pair_type); }
+};
+
+// run_packed: the run_compiled loop over a width-packed closed table, packed
+// endpoint array and W-word config.  For the same (seed, graph, nullptr map)
+// it is bit-identical to run_compiled at every width: the draw stream, the
+// pick-to-interaction mapping, the census marks and the stability predicate
+// are all unchanged — only the bytes per touch shrink.  Requires the closed
+// table the packed_table snapshot was taken from.
+template <typename W, typename N, compilable_protocol P>
+election_result run_packed(const compiled_protocol<P>& compiled,
+                           const packed_table<W, P>& table,
+                           const packed_endpoints<N>& edges, const graph& g,
+                           rng gen, const sim_options& options = {},
+                           const std::vector<node_id>* old_of_new = nullptr) {
+  using traits = census_traits<P>;
+  const P& proto = compiled.protocol();
+  const node_id n = g.num_nodes();
+  expects(edges.pairs.size() == static_cast<std::size_t>(g.num_edges()),
+          "run_packed: endpoint array does not match the graph");
+  expects(g.num_edges() >= 1, "run_packed: graph must have at least one edge");
+  expects(table.num_states() == compiled.num_states(),
+          "run_packed: packed table does not match the compiled table");
+  expects(old_of_new == nullptr ||
+              old_of_new->size() == static_cast<std::size_t>(n),
+          "run_packed: node map does not match the graph");
+
+  std::vector<W> config(static_cast<std::size_t>(n));
+  std::int64_t totals[kMaxCensusCounters] = {};
+  for (node_id v = 0; v < n; ++v) {
+    const node_id src = old_of_new ? (*old_of_new)[static_cast<std::size_t>(v)] : v;
+    const auto id = compiled.id_of(proto.initial_state(src));
+    config[static_cast<std::size_t>(v)] = static_cast<W>(id);
+    const auto& c = compiled.contribution(id);
+    for (int i = 0; i < traits::kCounters; ++i) totals[i] += c[static_cast<std::size_t>(i)];
+  }
+
+  // The table is closed, so the id space is fixed: the census byte-marks can
+  // be sized once up front (same marks as run_compiled's lazy resize).
+  std::vector<std::uint8_t> seen;
+  const bool census = options.state_census;
+  if (census) {
+    seen.assign(table.num_states(), 0);
+    for (const auto id : config) seen[id] = 1;
+  }
+
+  const std::uint64_t m = static_cast<std::uint64_t>(edges.pairs.size());
+  const std::uint64_t two_m = 2 * m;
+  const auto* const pairs = edges.pairs.data();
+  block_rng draw(gen);
+
+  // Two-level prefetch pipeline over the precomputed pick batch: the pair
+  // line is requested kPairAhead steps early; once it has (likely) arrived —
+  // kConfAhead steps out — it is loaded and the two config words it names
+  // are requested in turn.  Everything here is loads and hints, so the
+  // executed trajectory is untouched; in particular prefetching a config
+  // word that an intervening step will overwrite is harmless (the real load
+  // at step time sees the stored value).
+  constexpr std::size_t kBatch = 256;
+  constexpr std::size_t kPairAhead = 16;
+  constexpr std::size_t kConfAhead = 8;
+  std::uint64_t picks[kBatch];
+
+  election_result result;
+  std::uint64_t steps = 0;
+  while (!traits::stable(totals)) {
+    if (steps >= options.max_steps) {
+      result.steps = steps;
+      if (census) {
+        for (const auto s : seen) result.distinct_states_used += s;
+      }
+      return result;
+    }
+    const std::uint64_t remaining = options.max_steps - steps;
+    const std::size_t len =
+        remaining < kBatch ? static_cast<std::size_t>(remaining) : kBatch;
+    for (std::size_t i = 0; i < len; ++i) picks[i] = draw.uniform_below(two_m);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (i + kPairAhead < len) {
+        const std::uint64_t k = picks[i + kPairAhead];
+        __builtin_prefetch(&pairs[k >= m ? k - m : k], /*rw=*/0, /*locality=*/1);
+      }
+      if (i + kConfAhead < len) {
+        const std::uint64_t k = picks[i + kConfAhead];
+        // Orientation is irrelevant for the hint: both config words are
+        // touched either way.
+        const auto pr = pairs[k >= m ? k - m : k];
+        __builtin_prefetch(&config[pr.a], /*rw=*/1, /*locality=*/1);
+        __builtin_prefetch(&config[pr.b], /*rw=*/1, /*locality=*/1);
+      }
+      const std::uint64_t k = picks[i];
+      const bool flip = k >= m;
+      const auto pr = pairs[flip ? k - m : k];
+      const auto u = static_cast<std::size_t>(flip ? pr.b : pr.a);
+      const auto v = static_cast<std::size_t>(flip ? pr.a : pr.b);
+      const W ca = config[u];
+      const W cb = config[v];
+      const packed_entry<W> e = table.at(ca, cb);
+      config[u] = e.a2;
+      config[v] = e.b2;
+      ++steps;
+      if (census) {
+        if (e.a2 != ca) seen[e.a2] = 1;
+        if (e.b2 != cb) seen[e.b2] = 1;
+      }
+      if (e.delta_nonzero()) {
+        for (int c = 0; c < traits::kCounters; ++c) {
+          totals[c] += e.delta_of(c);
+        }
+        if (traits::stable(totals)) break;
+      }
+    }
+  }
+
+  result.stabilized = true;
+  result.steps = steps;
+  if (census) {
+    for (const auto s : seen) result.distinct_states_used += s;
+  }
+  result.leader = elected_leader(
+      config, [&](W id) { return compiled.output(id); }, old_of_new);
+  return result;
+}
+
+// States the reachable closure may intern before tuned/sweep runners fall
+// back to per-trial lazy u32 tables (a closed table of k states is k²
+// entries; 2048² packed u16 entries are ~34 MB).
+inline constexpr std::size_t kEngineClosureBudget = 2048;
+
+// Data-layout knobs for tuned_runner / measure_election_tuned.
+struct engine_tuning {
+  // Vertex relabelling applied to the graph before the run (graph/reorder.h).
+  // natural preserves per-seed bit-identity with the reference simulator;
+  // bfs/rcm trade it for 3σ statistical agreement.
+  vertex_order order = vertex_order::natural;
+  // Config word width: 0 picks the narrowest width that holds |Λ| (and, for
+  // u8, whose census deltas fit the nibble encoding); 8/16/32 force a width
+  // and fail loudly if the closed table does not fit it.
+  int pack_bits = 0;
+};
+
+// tuned_runner resolves the engine data layout once — vertex order, config
+// word width, endpoint node width — and then serves any number of runs
+// through the branch-free loop instantiated for that layout.  Construction
+// does all the heavy setup (reorder + relabel, reachability closure, packed
+// table + endpoint snapshots); run() only dispatches on the stored widths,
+// so trials of a sweep share every byte of read-only state.  If the
+// reachable space exceeds the closure budget the runner degrades to the lazy
+// u32 path (packed widths need a closed table) with per-run tables,
+// preserving the measure_election_fast fallback semantics.
+template <compilable_protocol P>
+class tuned_runner {
+ public:
+  tuned_runner(const P& proto, const graph& g, const engine_tuning& tuning = {},
+               std::size_t closure_budget = kEngineClosureBudget)
+      : proto_(&proto), tuning_(tuning), original_(&g), compiled_(proto) {
+    expects(tuning.pack_bits == 0 || tuning.pack_bits == 8 ||
+                tuning.pack_bits == 16 || tuning.pack_bits == 32,
+            "tuned_runner: pack_bits must be 0 (auto), 8, 16 or 32");
+    if (tuning_.order != vertex_order::natural) {
+      const auto perm = order_permutation(g, tuning_.order);
+      relabeled_ = g.relabel(perm);
+      old_of_new_ = invert_permutation(perm);
+    }
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+      compiled_.intern(proto.initial_state(v));
+    }
+    closed_ = compiled_.close(closure_budget);
+    if (!closed_) {
+      expects(tuning_.pack_bits == 0 || tuning_.pack_bits == 32,
+              "tuned_runner: packed widths need a closed table (reachable "
+              "space exceeded the closure budget)");
+      pack_bits_ = 32;
+      // The failed closure left a partially-grown table (tens of MB at the
+      // default budget) that run() never reads — every fallback run compiles
+      // its own lazy table.  Record its footprint for the accounting, then
+      // release it for the runner's lifetime.
+      fallback_table_bytes_ = compiled_.table_bytes();
+      compiled_ = compiled_protocol<P>(proto);
+      fallback_edges_.emplace(run_graph());
+      return;
+    }
+    const std::size_t k = compiled_.num_states();
+    if (tuning_.pack_bits == 0) {
+      pack_bits_ = (k <= 256 && compiled_.deltas_fit_nibble()) ? 8
+                   : k <= 65536                                ? 16
+                                                               : 32;
+    } else {
+      pack_bits_ = tuning_.pack_bits;
+    }
+    if (static_cast<std::uint64_t>(run_graph().num_nodes()) <= 65536) {
+      pairs_.template emplace<packed_endpoints<std::uint16_t>>(run_graph());
+    } else {
+      pairs_.template emplace<packed_endpoints<std::uint32_t>>(run_graph());
+    }
+    switch (pack_bits_) {
+      case 8:
+        table_.template emplace<packed_table<std::uint8_t, P>>(compiled_);
+        break;
+      case 16:
+        table_.template emplace<packed_table<std::uint16_t, P>>(compiled_);
+        break;
+      default:
+        table_.template emplace<packed_table<std::uint32_t, P>>(compiled_);
+        break;
+    }
+  }
+
+  // One election through the resolved layout.  Thread-safe for concurrent
+  // calls: packed state is read-only, and the lazy fallback compiles a local
+  // table per call.
+  election_result run(rng gen, const sim_options& options = {}) const {
+    const auto* map = old_of_new_.empty() ? nullptr : &old_of_new_;
+    if (!closed_) {
+      compiled_protocol<P> local(*proto_);
+      return run_compiled(local, *fallback_edges_, run_graph(), gen, options, map);
+    }
+    switch (pack_bits_) {
+      case 8: return run_width<std::uint8_t>(gen, options, map);
+      case 16: return run_width<std::uint16_t>(gen, options, map);
+      default: return run_width<std::uint32_t>(gen, options, map);
+    }
+  }
+
+  // The graph the hot loop actually runs on (relabelled unless natural).
+  const graph& run_graph() const {
+    return old_of_new_.empty() ? *original_ : relabeled_;
+  }
+
+  vertex_order order() const { return tuning_.order; }
+  // Resolved config word width (8/16/32; 32 on the lazy fallback).
+  int pack_bits() const { return pack_bits_; }
+  // False iff the closure budget was exceeded and runs use lazy u32 tables.
+  bool packed() const { return closed_; }
+  // The shared closed table; empty on the lazy fallback (each run owns one).
+  const compiled_protocol<P>& compiled() const { return compiled_; }
+  // Maps run-graph node ids back to original ids; empty for natural order.
+  const std::vector<node_id>& old_of_new() const { return old_of_new_; }
+
+  // Resident bytes of the hot loop: config array + transition table +
+  // endpoint pairs (the quantities bench/locality.cpp attributes wins to).
+  std::size_t working_set_bytes() const {
+    const auto n = static_cast<std::size_t>(run_graph().num_nodes());
+    std::size_t total = n * static_cast<std::size_t>(pack_bits_ / 8);
+    if (!closed_) {
+      total += fallback_table_bytes_;
+      total += fallback_edges_->pairs.size() * sizeof(interaction);
+      return total;
+    }
+    std::visit(
+        [&](const auto& t) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(t)>, std::monostate>) {
+            total += t.bytes();
+          }
+        },
+        table_);
+    std::visit(
+        [&](const auto& e) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(e)>, std::monostate>) {
+            total += e.bytes();
+          }
+        },
+        pairs_);
+    return total;
+  }
+
+  // Bytes one scheduler step touches: one endpoint pair, one table entry and
+  // two config words (each word's load and store hit the same line).
+  std::size_t bytes_per_step() const {
+    const std::size_t word = static_cast<std::size_t>(pack_bits_ / 8);
+    std::size_t pair_bytes = sizeof(interaction);
+    std::size_t entry_bytes = sizeof(typename compiled_protocol<P>::entry);
+    if (closed_) {
+      // Inspect the stored variant rather than re-deriving the constructor's
+      // width threshold, so the accounting tracks the layout actually run.
+      pair_bytes = std::holds_alternative<packed_endpoints<std::uint16_t>>(pairs_)
+                       ? sizeof(typename packed_endpoints<std::uint16_t>::pair_type)
+                       : sizeof(typename packed_endpoints<std::uint32_t>::pair_type);
+      entry_bytes = pack_bits_ == 8    ? sizeof(packed_entry<std::uint8_t>)
+                    : pack_bits_ == 16 ? sizeof(packed_entry<std::uint16_t>)
+                                       : sizeof(packed_entry<std::uint32_t>);
+    }
+    return pair_bytes + entry_bytes + 2 * word;
+  }
+
+ private:
+  template <typename W>
+  election_result run_width(rng gen, const sim_options& options,
+                            const std::vector<node_id>* map) const {
+    const auto& table = std::get<packed_table<W, P>>(table_);
+    if (const auto* e16 =
+            std::get_if<packed_endpoints<std::uint16_t>>(&pairs_)) {
+      return run_packed(compiled_, table, *e16, run_graph(), gen, options, map);
+    }
+    return run_packed(compiled_, table,
+                      std::get<packed_endpoints<std::uint32_t>>(pairs_),
+                      run_graph(), gen, options, map);
+  }
+
+  const P* proto_;
+  engine_tuning tuning_;
+  const graph* original_;
+  graph relabeled_;                 // only filled when order != natural
+  std::vector<node_id> old_of_new_;  // empty for natural order
+  compiled_protocol<P> compiled_;
+  bool closed_ = false;
+  int pack_bits_ = 32;
+  std::variant<std::monostate, packed_table<std::uint8_t, P>,
+               packed_table<std::uint16_t, P>, packed_table<std::uint32_t, P>>
+      table_;
+  std::variant<std::monostate, packed_endpoints<std::uint16_t>,
+               packed_endpoints<std::uint32_t>>
+      pairs_;
+  std::optional<edge_endpoints> fallback_edges_;  // lazy fallback only
+  std::size_t fallback_table_bytes_ = 0;          // released table's footprint
+};
 
 }  // namespace pp

@@ -104,6 +104,25 @@ std::int64_t graph::edge_index(node_id u, node_id v) const {
   return incident_ids_[slot];
 }
 
+graph graph::relabel(const std::vector<node_id>& perm) const {
+  expects(perm.size() == static_cast<std::size_t>(n_),
+          "graph::relabel: permutation size must equal node count");
+  std::vector<char> hit(static_cast<std::size_t>(n_), 0);
+  for (const node_id p : perm) {
+    expects(p >= 0 && p < n_, "graph::relabel: permutation entry out of range");
+    expects(!hit[static_cast<std::size_t>(p)],
+            "graph::relabel: permutation has a repeated entry");
+    hit[static_cast<std::size_t>(p)] = 1;
+  }
+  std::vector<edge> renamed;
+  renamed.reserve(edges_.size());
+  for (const edge& e : edges_) {
+    renamed.push_back({perm[static_cast<std::size_t>(e.u)],
+                       perm[static_cast<std::size_t>(e.v)]});
+  }
+  return from_edges(n_, renamed);
+}
+
 std::span<const std::int64_t> graph::incident_edge_ids(node_id v) const {
   expects(v >= 0 && v < n_, "graph::incident_edge_ids: node out of range");
   const auto begin = static_cast<std::size_t>(row_offsets_[v]);

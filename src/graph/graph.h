@@ -57,6 +57,13 @@ class graph {
   // Edge ids incident to `v`, aligned with neighbors(v).
   std::span<const std::int64_t> incident_edge_ids(node_id v) const;
 
+  // The isomorphic graph with node `v` renamed to `perm[v]`.  `perm` must be
+  // a permutation of [0, n).  Used with the bandwidth-reducing orders of
+  // graph/reorder.h so the engine's two config touches per step share cache
+  // lines; note that relabelling re-sorts the edge list, so the scheduler's
+  // draw-to-edge mapping (and hence any seeded trajectory) changes.
+  graph relabel(const std::vector<node_id>& perm) const;
+
  private:
   node_id n_ = 0;
   node_id max_degree_ = 0;

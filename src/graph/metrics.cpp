@@ -76,6 +76,12 @@ std::int32_t diameter_lower_bound(const graph& g, int samples, rng& gen) {
   return best;
 }
 
+node_id bandwidth(const graph& g) {
+  node_id width = 0;
+  for (const edge& e : g.edges()) width = std::max(width, e.v - e.u);
+  return width;
+}
+
 std::int64_t edge_boundary(const graph& g, const std::vector<bool>& in_set) {
   expects(in_set.size() == static_cast<std::size_t>(g.num_nodes()),
           "edge_boundary: set size must equal node count");

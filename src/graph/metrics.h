@@ -28,6 +28,11 @@ std::int32_t diameter(const graph& g);
 // exact on trees and usually exact in practice.  Requires connectivity.
 std::int32_t diameter_lower_bound(const graph& g, int samples, rng& gen);
 
+// Graph bandwidth under the current labelling: max |u - v| over edges (0 for
+// an edgeless graph).  The locality figure of merit for the engine's config
+// array — the RCM order of graph/reorder.h exists to shrink it.
+node_id bandwidth(const graph& g);
+
 // Number of edges with exactly one endpoint in `in_set` (|∂S| in the paper).
 std::int64_t edge_boundary(const graph& g, const std::vector<bool>& in_set);
 

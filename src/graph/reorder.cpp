@@ -1,0 +1,176 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+
+#include "support/expects.h"
+
+namespace pp {
+namespace {
+
+// Appends the BFS of `start`'s component to `order` (new position -> old id),
+// visiting each frontier node's unvisited neighbours in the order `rank`
+// sorts them.  `rank(v)` must be a strict-weak-order key; adjacency is
+// already sorted by id, so a constant key yields plain ascending-id BFS.
+template <typename Rank>
+void bfs_component(const graph& g, node_id start, std::vector<char>& visited,
+                   std::vector<node_id>& order, const Rank& rank) {
+  std::vector<node_id> frontier{start};
+  visited[static_cast<std::size_t>(start)] = 1;
+  std::vector<node_id> next;
+  std::vector<node_id> children;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const node_id u : frontier) {
+      order.push_back(u);
+      children.clear();
+      for (const node_id w : g.neighbors(u)) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          children.push_back(w);
+        }
+      }
+      std::sort(children.begin(), children.end(),
+                [&](node_id a, node_id b) {
+                  return rank(a) != rank(b) ? rank(a) < rank(b) : a < b;
+                });
+      next.insert(next.end(), children.begin(), children.end());
+    }
+    frontier.swap(next);
+  }
+}
+
+// Levels of a BFS restricted to `start`'s component; nodes outside it keep -1.
+std::vector<std::int32_t> component_levels(const graph& g, node_id start,
+                                           std::int32_t& eccentricity,
+                                           std::vector<node_id>& last_level) {
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<node_id> frontier{start};
+  level[static_cast<std::size_t>(start)] = 0;
+  eccentricity = 0;
+  last_level = frontier;
+  std::vector<node_id> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const node_id u : frontier) {
+      for (const node_id w : g.neighbors(u)) {
+        if (level[static_cast<std::size_t>(w)] < 0) {
+          level[static_cast<std::size_t>(w)] =
+              level[static_cast<std::size_t>(u)] + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    if (!next.empty()) {
+      ++eccentricity;
+      last_level = next;
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+// George–Liu pseudo-peripheral vertex of `start`'s component: repeatedly jump
+// to a minimum-degree vertex of the farthest BFS level until the eccentricity
+// stops growing.  Deterministic (ties by id), terminates because the
+// eccentricity is bounded by the component size.
+node_id pseudo_peripheral(const graph& g, node_id start) {
+  node_id r = start;
+  std::int32_t ecc = -1;
+  for (;;) {
+    std::int32_t r_ecc = 0;
+    std::vector<node_id> last;
+    component_levels(g, r, r_ecc, last);
+    if (r_ecc <= ecc) return r;
+    ecc = r_ecc;
+    node_id best = last.front();
+    for (const node_id v : last) {
+      if (g.degree(v) < g.degree(best) ||
+          (g.degree(v) == g.degree(best) && v < best)) {
+        best = v;
+      }
+    }
+    r = best;
+  }
+}
+
+std::vector<node_id> perm_from_order(const std::vector<node_id>& order) {
+  std::vector<node_id> perm(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    perm[static_cast<std::size_t>(order[i])] = static_cast<node_id>(i);
+  }
+  return perm;
+}
+
+}  // namespace
+
+const char* to_string(vertex_order order) {
+  switch (order) {
+    case vertex_order::natural: return "natural";
+    case vertex_order::bfs: return "bfs";
+    case vertex_order::rcm: return "rcm";
+  }
+  return "unknown";
+}
+
+bool parse_vertex_order(const std::string& name, vertex_order& out) {
+  if (name == "natural") out = vertex_order::natural;
+  else if (name == "bfs") out = vertex_order::bfs;
+  else if (name == "rcm") out = vertex_order::rcm;
+  else return false;
+  return true;
+}
+
+std::vector<node_id> bfs_permutation(const graph& g) {
+  const node_id n = g.num_nodes();
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<node_id> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      bfs_component(g, v, visited, order, [](node_id) { return 0; });
+    }
+  }
+  return perm_from_order(order);
+}
+
+std::vector<node_id> rcm_permutation(const graph& g) {
+  const node_id n = g.num_nodes();
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<node_id> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      const node_id start = pseudo_peripheral(g, v);
+      bfs_component(g, start, visited, order,
+                    [&](node_id w) { return g.degree(w); });
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return perm_from_order(order);
+}
+
+std::vector<node_id> order_permutation(const graph& g, vertex_order order) {
+  switch (order) {
+    case vertex_order::bfs: return bfs_permutation(g);
+    case vertex_order::rcm: return rcm_permutation(g);
+    case vertex_order::natural: break;
+  }
+  std::vector<node_id> identity(static_cast<std::size_t>(g.num_nodes()));
+  for (node_id v = 0; v < g.num_nodes(); ++v) identity[static_cast<std::size_t>(v)] = v;
+  return identity;
+}
+
+std::vector<node_id> invert_permutation(const std::vector<node_id>& perm) {
+  std::vector<node_id> inv(perm.size(), -1);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    const node_id p = perm[v];
+    expects(p >= 0 && static_cast<std::size_t>(p) < perm.size(),
+            "invert_permutation: entry out of range");
+    expects(inv[static_cast<std::size_t>(p)] < 0,
+            "invert_permutation: permutation has a repeated entry");
+    inv[static_cast<std::size_t>(p)] = static_cast<node_id>(v);
+  }
+  return inv;
+}
+
+}  // namespace pp

@@ -1,0 +1,57 @@
+// Vertex reorderings for cache locality.
+//
+// The compiled engine touches config[u] and config[v] for one random edge
+// {u, v} per step.  When the labelling keeps adjacent nodes numerically close
+// — small graph *bandwidth*, max |u - v| over edges — those two touches land
+// on nearby cache lines, so mesh-like families (rings, grids, tori) run out
+// of a much smaller effective working set.  This header provides the two
+// classic bandwidth-reducing orders:
+//
+//   * BFS order: plain breadth-first numbering from the smallest node id
+//     (components in ascending order of their smallest id);
+//   * reverse Cuthill–McKee (RCM): BFS from a pseudo-peripheral start vertex,
+//     children visited in ascending (degree, id) order, final order reversed
+//     — the standard sparse-matrix bandwidth heuristic.
+//
+// Both are deterministic (ties broken by node id), so a reordered experiment
+// is reproducible from the seed alone.  Relabelling changes which edge a
+// scheduler draw maps to, so reordered runs trade per-seed equivalence for
+// statistical agreement — the same contract as the well-mixed engine
+// (src/engine/wellmixed/README.md); run_packed re-maps initial states and the
+// reported leader through the permutation, so the reordered process is
+// exactly the original one on an isomorphic graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pp {
+
+// Vertex-order choices for the tuned engine (engine_tuning::order).
+enum class vertex_order { natural, bfs, rcm };
+
+// Printable name ("natural" / "bfs" / "rcm").
+const char* to_string(vertex_order order);
+
+// Parses "natural" / "bfs" / "rcm"; returns false on anything else.
+bool parse_vertex_order(const std::string& name, vertex_order& out);
+
+// All permutations below map old ids to new ids: perm[old_id] = new_id.
+
+// Breadth-first numbering from the smallest id of each component.
+std::vector<node_id> bfs_permutation(const graph& g);
+
+// Reverse Cuthill–McKee numbering (pseudo-peripheral start per component,
+// neighbours by ascending (degree, id), whole order reversed).
+std::vector<node_id> rcm_permutation(const graph& g);
+
+// Permutation for `order`; the identity for vertex_order::natural.
+std::vector<node_id> order_permutation(const graph& g, vertex_order order);
+
+// Inverse permutation: inv[perm[v]] == v.  `perm` must be a bijection on
+// [0, perm.size()).
+std::vector<node_id> invert_permutation(const std::vector<node_id>& perm);
+
+}  // namespace pp

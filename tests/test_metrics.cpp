@@ -23,6 +23,14 @@ TEST(Bfs, UnreachableMarked) {
   EXPECT_EQ(d[3], unreachable);
 }
 
+TEST(Bandwidth, KnownValues) {
+  EXPECT_EQ(bandwidth(make_path(8)), 1);          // consecutive labels
+  EXPECT_EQ(bandwidth(make_cycle(8)), 7);         // the wrap edge {0, n-1}
+  EXPECT_EQ(bandwidth(make_clique(6)), 5);        // edge {0, n-1} exists
+  EXPECT_EQ(bandwidth(make_grid_2d(3, 5, false)), 5);  // row-major: cols
+  EXPECT_EQ(bandwidth(graph::from_edges(1, {})), 0);   // edgeless
+}
+
 TEST(Connectivity, DetectsComponents) {
   EXPECT_TRUE(is_connected(make_cycle(10)));
   EXPECT_FALSE(is_connected(graph::from_edges(3, {{0, 1}})));
