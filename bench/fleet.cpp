@@ -1,0 +1,186 @@
+// E17 — fleet sweep scaling (src/fleet/): trials/sec vs worker processes.
+//
+// Two claims are pinned here:
+//
+//   1. Determinism: the merged summary of a fleet sweep is *identical* —
+//      every statistic, bit for bit — to the serial sweep over the same seed
+//      list, for every worker count, on both the per-interaction tuned
+//      engine and the well-mixed batch engine.  This is the seed-partition
+//      contract of fleet_run (records merged by trial index; trial t always
+//      runs seed_gen.fork(t)) and CI fails if it breaks at any W.
+//
+//   2. Scaling: independent trials shard embarrassingly, so trials/sec
+//      should grow near-linearly with W until the host runs out of cores.
+//      On a >= 2-core host at PP_BENCH_SCALE >= 1 the W = 2 row must reach
+//      >= 1.7x the W = 1 rate; on 1-core hosts (like the reference machine,
+//      where the next multiplier is horizontal across *hosts*) the rows are
+//      informational.
+//
+// Emits BENCH_fleet.json next to the table.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+#include "core/fast_election.h"
+#include "graph/generators.h"
+#include "support/parallel.h"
+
+namespace pp {
+namespace {
+
+struct fleet_cell {
+  std::string engine;
+  std::uint64_t n = 0;
+  int trials = 0;
+  int jobs = 0;
+  double seconds = 0;
+  bool equal_summary = true;  // vs the jobs = 1 sweep
+  double trials_per_sec() const { return seconds > 0 ? trials / seconds : 0.0; }
+};
+
+bool same_summary(const election_summary& a, const election_summary& b) {
+  return a.stabilized_fraction == b.stabilized_fraction &&
+         a.max_states_used == b.max_states_used &&
+         a.steps.count == b.steps.count && a.steps.mean == b.steps.mean &&
+         a.steps.stddev == b.steps.stddev && a.steps.median == b.steps.median &&
+         a.steps.q10 == b.steps.q10 && a.steps.q90 == b.steps.q90;
+}
+
+int run() {
+  const double scale = bench_scale();
+  bench::banner(
+      "E17", "fleet sweep scaling (process sharding, src/fleet/)",
+      "Independent trials shard across worker processes with disjoint seed\n"
+      "blocks; the merged summary must be byte-identical to the serial sweep\n"
+      "at every worker count, and trials/sec should scale with cores.");
+
+  const std::vector<int> job_counts = {1, 2, 4};
+  std::vector<fleet_cell> cells;
+  bool determinism_ok = true;
+
+  // --- per-interaction tuned engine on a ring ---
+  const node_id n_ring = static_cast<node_id>(4000 * scale) + 64;
+  const int trials_ring = bench::scaled(24);
+  {
+    const graph g = make_cycle(n_ring);
+    const double b = estimate_worst_case_broadcast_time(g, 10, 4, rng(11)).value;
+    const fast_protocol proto(fast_params::practical(g, b));
+    const tuned_runner<fast_protocol> runner(proto, g);
+    election_summary baseline;
+    for (const int jobs : job_counts) {
+      fleet_cell c;
+      c.engine = "tuned";
+      c.n = static_cast<std::uint64_t>(n_ring);
+      c.trials = trials_ring;
+      c.jobs = jobs;
+      bench::stopwatch timer;
+      const auto summary = measure_election_fleet(runner, trials_ring, rng(7), {}, jobs);
+      c.seconds = timer.seconds();
+      if (jobs == 1) baseline = summary;
+      c.equal_summary = same_summary(summary, baseline);
+      determinism_ok = determinism_ok && c.equal_summary;
+      cells.push_back(c);
+    }
+  }
+
+  // --- well-mixed batch engine on a clique ---
+  const std::uint64_t n_wm = static_cast<std::uint64_t>(30000 * scale) + 1000;
+  const int trials_wm = bench::scaled(16);
+  {
+    const fast_protocol proto(fast_params::practical_clique(n_wm));
+    election_summary baseline;
+    for (const int jobs : job_counts) {
+      fleet_cell c;
+      c.engine = "wellmixed";
+      c.n = n_wm;
+      c.trials = trials_wm;
+      c.jobs = jobs;
+      bench::stopwatch timer;
+      const auto summary =
+          measure_election_fleet_wellmixed(proto, n_wm, trials_wm, rng(13), {}, jobs);
+      c.seconds = timer.seconds();
+      if (jobs == 1) baseline = summary;
+      c.equal_summary = same_summary(summary, baseline);
+      determinism_ok = determinism_ok && c.equal_summary;
+      cells.push_back(c);
+    }
+  }
+
+  text_table table({"engine", "n", "trials", "W", "seconds", "trials/s",
+                    "speedup", "eq"});
+  double tuned_w1 = 0, tuned_w2 = 0;
+  for (const fleet_cell& c : cells) {
+    double base_rate = 0;
+    for (const fleet_cell& b : cells) {
+      if (b.engine == c.engine && b.jobs == 1) base_rate = b.trials_per_sec();
+    }
+    const double speedup = base_rate > 0 ? c.trials_per_sec() / base_rate : 0.0;
+    if (c.engine == "tuned" && c.jobs == 1) tuned_w1 = c.trials_per_sec();
+    if (c.engine == "tuned" && c.jobs == 2) tuned_w2 = c.trials_per_sec();
+    table.add_row({c.engine, std::to_string(c.n), std::to_string(c.trials),
+                   std::to_string(c.jobs), format_number(c.seconds, 3),
+                   format_number(c.trials_per_sec(), 3),
+                   format_number(speedup, 3), c.equal_summary ? "yes" : "NO"});
+  }
+  bench::print_table(table);
+
+  const std::size_t cores = hardware_threads();
+  const double w2_speedup = tuned_w1 > 0 ? tuned_w2 / tuned_w1 : 0.0;
+  // The scaling gate needs real parallel hardware and a workload big enough
+  // to amortise the fork: enforced at scale >= 1 on >= 2 cores, else
+  // informational (the reference host has 1 core).
+  const bool enforce_scaling = cores >= 2 && scale >= 1.0;
+  const bool scaling_ok = !enforce_scaling || w2_speedup >= 1.7;
+
+  bench::json_writer json;
+  json.begin_object();
+  json.key("bench").value("fleet");
+  json.key("scale").value(scale);
+  json.key("cores").value(static_cast<std::uint64_t>(cores));
+  json.key("results").begin_array();
+  for (const fleet_cell& c : cells) {
+    json.begin_object();
+    json.key("engine").value(c.engine);
+    json.key("n").value(c.n);
+    json.key("trials").value(c.trials);
+    json.key("jobs").value(c.jobs);
+    json.key("seconds").value(c.seconds);
+    json.key("trials_per_sec").value(c.trials_per_sec());
+    json.key("equal_summary").value(c.equal_summary);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("w2_speedup_tuned").value(w2_speedup);
+  json.key("determinism_pass").value(determinism_ok);
+  json.key("scaling_enforced").value(enforce_scaling);
+  json.key("scaling_pass").value(scaling_ok);
+  json.end_object();
+  json.write_file("BENCH_fleet.json");
+
+  std::printf(
+      "Reading: `eq` is the hard gate — a fleet sweep must merge to exactly\n"
+      "the serial summary at every W (seed-partition determinism).  The\n"
+      "speedup column is the horizontal-scaling story; it is enforced\n"
+      "(>= 1.7x at W=2) only on >= 2-core hosts at full scale.\n"
+      "Wrote BENCH_fleet.json.\n");
+
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a fleet sweep diverged from the serial summary.\n");
+  }
+  if (!scaling_ok) {
+    std::fprintf(stderr,
+                 "FAIL: W=2 fleet speedup %.2fx below the 1.7x acceptance "
+                 "threshold on a %zu-core host.\n",
+                 w2_speedup, cores);
+  }
+  return determinism_ok && scaling_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() { return pp::run(); }

@@ -1,0 +1,64 @@
+// Fleet sweep quickstart (src/fleet/): prepare a sweep once, serialize it as
+// a checksummed artifact, and shard the trials across worker processes.
+//
+// The flow mirrors what `popsim --jobs W --save-artifact F` automates:
+//   1. build the protocol + graph and resolve the engine layout once
+//      (tuned_runner: closed table, packed snapshot, reorder permutation);
+//   2. snapshot it into a sweep_artifact and save/load it — the load
+//      validates the rebuild byte-for-byte, so version-skewed workers fail
+//      loudly instead of silently diverging;
+//   3. run the same seed list serially and through fork-based workers and
+//      check the summaries match *exactly* (seed-partition determinism:
+//      trial t always runs seed_gen.fork(t), records merge by trial index).
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "core/fast_election.h"
+#include "dynamics/epidemic.h"
+#include "fleet/artifact.h"
+#include "fleet/sweep.h"
+#include "graph/generators.h"
+
+int main() {
+  const pp::node_id n = 2000;
+  const int trials = 16;
+  const pp::graph g = pp::make_cycle(n);
+  const double b =
+      pp::estimate_worst_case_broadcast_time(g, 10, 4, pp::rng(1)).value;
+  const pp::fast_protocol proto(pp::fast_params::practical(g, b));
+  const pp::tuned_runner<pp::fast_protocol> runner(proto, g);
+  std::printf("prepared: ring n=%d, |Lambda|=%zu, pack=u%d\n", n,
+              runner.compiled().num_states(), runner.pack_bits());
+
+  // Serialize the prepared sweep and rebuild it from the file, as a worker
+  // process (or another host) would.
+  const std::string path = "/tmp/fleet_sweep_example.ppaf";
+  pp::fleet::save_artifact(
+      pp::fleet::make_tuned_artifact(runner, g, "cycle",
+                                     pp::fleet::fast_desc(proto.params())),
+      path);
+  const auto artifact = pp::fleet::load_artifact(path);
+  const pp::fast_protocol rebuilt_proto(
+      pp::fleet::fast_params_of(artifact.protocol));
+  const pp::graph rebuilt_g = pp::fleet::rebuild_graph(*artifact.graph);
+  const pp::tuned_runner<pp::fast_protocol> rebuilt(
+      rebuilt_proto, rebuilt_g, pp::fleet::tuning_of(artifact));
+  pp::fleet::validate_tuned_artifact(artifact, rebuilt);
+  std::printf("artifact: %s round-tripped and validated (closed table, "
+              "packed snapshot, graph)\n", path.c_str());
+
+  // Same seed list, serial vs two worker processes: identical summaries.
+  const auto serial = pp::measure_election_tuned(rebuilt, trials, pp::rng(7));
+  const auto fleet = pp::measure_election_fleet(rebuilt, trials, pp::rng(7), {}, 2);
+  std::printf("serial: mean %.0f steps over %zu stabilized trials\n",
+              serial.steps.mean, serial.steps.count);
+  std::printf("fleet (2 workers): mean %.0f steps over %zu stabilized trials\n",
+              fleet.steps.mean, fleet.steps.count);
+  const bool identical = serial.steps.mean == fleet.steps.mean &&
+                         serial.steps.stddev == fleet.steps.stddev &&
+                         serial.stabilized_fraction == fleet.stabilized_fraction;
+  std::printf("merged summaries identical: %s\n", identical ? "yes" : "NO");
+  std::remove(path.c_str());
+  return identical ? 0 : 1;
+}

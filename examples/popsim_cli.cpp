@@ -2,7 +2,11 @@
 //
 //   $ ./example_popsim_cli <family> <n> <protocol> [--trials T] [--seed S]
 //                          [--engine auto|wellmixed] [--order natural|bfs|rcm]
-//                          [--pack auto|8|16|32]
+//                          [--pack auto|8|16|32] [--jobs W]
+//                          [--save-artifact FILE]
+//   $ ./example_popsim_cli --load-artifact FILE [--trials T] [--seed S]
+//                          [--jobs W] [--save-artifact FILE]
+//   $ ./example_popsim_cli --worker MANIFEST INDEX
 //
 //   family    clique | cycle | star | torus | er_dense | rr8
 //   protocol  fast | id | six | star
@@ -20,10 +24,27 @@
 //   --pack    config word width for the compiled engine (protocol fast):
 //             auto picks the narrowest width holding |Λ|; 8/16/32 force one
 //             and fail loudly if the state space does not fit
+//   --jobs    shard the trials across W worker processes (fleet sweep,
+//             src/fleet/).  Trial t keeps its serial seed, records are
+//             merged by trial index, so the printed summary is identical to
+//             the --jobs 1 run — worker bookkeeping goes to stderr
+//   --save-artifact  write the prepared sweep (closed table, packed
+//             snapshot, graph + reorder permutation or well-mixed multiset)
+//             as a versioned, checksummed binary artifact (src/fleet/)
+//   --load-artifact  rebuild the sweep from an artifact instead of the
+//             positional arguments; the rebuild is validated byte-for-byte
+//             against the stored sections before anything runs
+//   --worker  internal: run one worker's trial block of a fleet manifest,
+//             streaming length-prefixed records to stdout
+//
+// Every invalid invocation exits nonzero (2 for usage errors, 1 for runtime
+// failures) — the fleet CI gates pipe this binary and depend on it.
 //
 // Runs the chosen election, prints a summary, and emits the final
 // configuration as Graphviz DOT on request via POPSIM_DOT=1 — handy for
 // scripting sweeps beyond what the bench binaries cover.
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -37,7 +58,10 @@
 #include "core/id_election.h"
 #include "core/star_protocol.h"
 #include "dynamics/epidemic.h"
+#include "fleet/artifact.h"
+#include "fleet/sweep.h"
 #include "graph/io.h"
+#include "support/parse.h"
 
 namespace {
 
@@ -45,7 +69,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: popsim <family> <n> <protocol> [--trials T] [--seed S]"
                " [--engine auto|wellmixed] [--order natural|bfs|rcm]"
-               " [--pack auto|8|16|32]\n"
+               " [--pack auto|8|16|32] [--jobs W] [--save-artifact FILE]\n"
+               "       popsim --load-artifact FILE [--trials T] [--seed S]"
+               " [--jobs W] [--save-artifact FILE]\n"
+               "       popsim --worker MANIFEST INDEX\n"
                "  family:   clique cycle star torus er_dense rr8\n"
                "  protocol: fast id six star\n"
                "  --trials  positive trial count (default 5)\n"
@@ -55,207 +82,249 @@ int usage() {
                "  --order   vertex relabelling for the compiled engine"
                " (protocol fast only; default natural)\n"
                "  --pack    config word width for the compiled engine"
-               " (protocol fast only; default auto)\n");
+               " (protocol fast only; default auto)\n"
+               "  --jobs    worker processes for the sweep (default 1;"
+               " protocol fast or --engine wellmixed)\n"
+               "  --save-artifact / --load-artifact  serialize / rebuild the"
+               " prepared sweep (src/fleet/)\n");
   return 2;
 }
 
-// Strict full-string parse of a non-negative integer; returns false on any
-// trailing garbage, sign, or overflow, so typos fail loudly instead of
-// silently truncating (atoi accepted "10x" and "1e6" as 10 and 1).
-bool parse_u64(const char* text, std::uint64_t& out) {
-  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  out = static_cast<std::uint64_t>(v);
-  return true;
-}
+// Numeric flags go through the strict full-string pp::parse_u64
+// (support/parse.h), shared with the fleet manifest reader so the CLI and
+// manifests can never drift in what they accept.
+using pp::parse_u64;
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string family_name = argv[1];
-  std::uint64_t n_value = 0;
-  if (!parse_u64(argv[2], n_value) || n_value < 2 ||
-      n_value > static_cast<std::uint64_t>(INT32_MAX)) {
-    std::fprintf(stderr, "popsim: n must be an integer in [2, %d]\n", INT32_MAX);
-    return usage();
-  }
-  const std::string protocol = argv[3];
-
+struct cli_config {
   std::uint64_t trials = 5;
-  std::uint64_t seed_value = 1;
+  std::uint64_t seed = 1;
   std::string engine = "auto";
+  bool engine_requested = false;
   pp::engine_tuning tuning;
   bool tuning_requested = false;
-  for (int i = 4; i < argc; ++i) {
+  std::uint64_t jobs = 1;
+  std::string save_path;
+  std::string load_path;
+};
+
+// Parses the optional flags from argv[start..).  Returns false — after
+// reporting the offending flag on stderr — on any unknown, incomplete or
+// out-of-range flag; every caller turns that into a nonzero exit.
+bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
+  for (int i = start; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--trials" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], trials) || trials < 1 || trials > 1'000'000) {
+      if (!parse_u64(argv[++i], cfg.trials) || cfg.trials < 1 ||
+          cfg.trials > 1'000'000) {
         std::fprintf(stderr, "popsim: --trials must be in [1, 1000000]\n");
-        return usage();
+        return false;
       }
     } else if (flag == "--seed" && i + 1 < argc) {
-      if (!parse_u64(argv[++i], seed_value)) {
+      if (!parse_u64(argv[++i], cfg.seed)) {
         std::fprintf(stderr, "popsim: --seed must be a 64-bit integer\n");
-        return usage();
+        return false;
       }
     } else if (flag == "--engine" && i + 1 < argc) {
-      engine = argv[++i];
-      if (engine != "auto" && engine != "wellmixed") {
-        std::fprintf(stderr, "popsim: unknown engine '%s'\n", engine.c_str());
-        return usage();
+      cfg.engine = argv[++i];
+      cfg.engine_requested = true;
+      if (cfg.engine != "auto" && cfg.engine != "wellmixed") {
+        std::fprintf(stderr, "popsim: unknown engine '%s'\n", cfg.engine.c_str());
+        return false;
       }
     } else if (flag == "--order" && i + 1 < argc) {
       const std::string name = argv[++i];
-      if (!pp::parse_vertex_order(name, tuning.order)) {
+      if (!pp::parse_vertex_order(name, cfg.tuning.order)) {
         std::fprintf(stderr, "popsim: unknown order '%s'\n", name.c_str());
-        return usage();
+        return false;
       }
-      tuning_requested = true;
+      cfg.tuning_requested = true;
     } else if (flag == "--pack" && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "auto") {
-        tuning.pack_bits = 0;
+        cfg.tuning.pack_bits = 0;
       } else if (name == "8" || name == "16" || name == "32") {
-        tuning.pack_bits = std::atoi(name.c_str());
+        cfg.tuning.pack_bits = std::atoi(name.c_str());
       } else {
         std::fprintf(stderr, "popsim: --pack must be auto, 8, 16 or 32\n");
-        return usage();
+        return false;
       }
-      tuning_requested = true;
+      cfg.tuning_requested = true;
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.jobs) || cfg.jobs < 1 || cfg.jobs > 256) {
+        std::fprintf(stderr, "popsim: --jobs must be in [1, 256]\n");
+        return false;
+      }
+    } else if (flag == "--save-artifact" && i + 1 < argc) {
+      cfg.save_path = argv[++i];
+      if (cfg.save_path.empty()) {
+        std::fprintf(stderr, "popsim: --save-artifact needs a file path\n");
+        return false;
+      }
+    } else if (flag == "--load-artifact" && i + 1 < argc) {
+      cfg.load_path = argv[++i];
+      if (cfg.load_path.empty()) {
+        std::fprintf(stderr, "popsim: --load-artifact needs a file path\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "popsim: unknown or incomplete flag '%s'\n",
                    flag.c_str());
-      return usage();
+      return false;
     }
   }
+  return true;
+}
 
-  pp::rng seed(seed_value);
-  const int trial_count = static_cast<int>(trials);
-
-  // --- well-mixed multiset engine: no graph object, clique only ---
-  if (engine == "wellmixed") {
-    if (tuning_requested) {
-      std::fprintf(stderr,
-                   "popsim: --order/--pack tune the per-interaction compiled "
-                   "engine; the wellmixed engine has no node array to pack\n");
-      return usage();
-    }
-    if (family_name != "clique") {
-      std::fprintf(stderr,
-                   "popsim: --engine wellmixed simulates the well-mixed "
-                   "(clique) model only\n");
-      return usage();
-    }
-    const std::uint64_t n = n_value;
-    pp::election_summary summary;
-    if (protocol == "fast") {
-      const pp::fast_protocol proto(pp::fast_params::practical_clique(n));
-      summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
-    } else if (protocol == "six") {
-      const pp::beauquier_protocol proto(static_cast<pp::node_id>(n));
-      summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
-    } else {
-      std::fprintf(stderr,
-                   "popsim: --engine wellmixed supports protocols fast|six\n");
-      return usage();
-    }
-    std::printf("well-mixed clique: n=%llu (multiset configuration, no edge list)\n",
-                static_cast<unsigned long long>(n));
-    std::printf("stabilized: %.0f%% of %d trials\n",
-                100.0 * summary.stabilized_fraction, trial_count);
-    if (summary.steps.count > 0) {
-      std::printf("steps: mean %.3g (sd %.2g, median %.3g, [q10,q90]=[%.3g, %.3g])\n",
-                  summary.steps.mean, summary.steps.stddev, summary.steps.median,
-                  summary.steps.q10, summary.steps.q90);
-    }
-    // A stabilized trial has exactly one leader by the tracker's predicate;
-    // agents are exchangeable, so there is no node id to report.
-    if (summary.stabilized_fraction > 0) {
-      std::printf("stabilized trials elected a unique leader\n");
-    }
-    return 0;
+// Temp file path inside a fresh mode-0700 mkdtemp directory: no other local
+// user can swap the path for a symlink between creation and the later
+// fopen-for-write (the classic /tmp TOCTOU), and cleanup is RAII.
+class temp_file {
+ public:
+  explicit temp_file(const char* name) {
+    char buf[] = "/tmp/popsim-XXXXXX";
+    pp::expects(::mkdtemp(buf) != nullptr,
+                "popsim: cannot create a temporary directory");
+    dir_ = buf;
+    path_ = dir_ + "/" + name;
   }
-
-  // Reject tuning flags for non-engine protocols before paying for the
-  // graph construction (a dense family at large n is expensive to build).
-  if (tuning_requested && protocol != "fast") {
-    std::fprintf(stderr,
-                 "popsim: --order/--pack apply to the compiled engine, i.e. "
-                 "protocol fast\n");
-    return usage();
+  ~temp_file() {
+    std::remove(path_.c_str());
+    ::rmdir(dir_.c_str());
   }
+  temp_file(const temp_file&) = delete;
+  temp_file& operator=(const temp_file&) = delete;
 
-  const pp::node_id n = static_cast<pp::node_id>(n_value);
-  const pp::graph_family* family = nullptr;
-  try {
-    family = &pp::family_by_name(family_name);
-  } catch (const std::invalid_argument&) {
-    return usage();
-  }
-  pp::rng make_gen = seed.fork(0);
-  const pp::graph g = family->make(n, make_gen);
-  std::printf("graph: %s n=%d m=%lld Δ=%d\n", family_name.c_str(), g.num_nodes(),
-              static_cast<long long>(g.num_edges()), g.max_degree());
+  const std::string& path() const { return path_; }
 
-  pp::election_summary summary;
-  pp::node_id sample_leader = -1;
-  if (protocol == "fast") {
-    const double b = pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
-    const pp::fast_protocol proto(pp::fast_params::practical(g, b));
-    // Tuned compiled engine (src/engine/): the runner resolves the data
-    // layout (vertex order, config/table word widths) once and shares it
-    // across the trials.  Defaults (natural order, auto width) reproduce the
-    // reference simulator's seeded results exactly.
-    std::optional<pp::tuned_runner<pp::fast_protocol>> prepared;
-    try {
-      prepared.emplace(proto, g, tuning);
-    } catch (const std::invalid_argument& e) {
-      // e.g. --pack 8 when |Λ| > 256, or a forced width on an unclosable
-      // table: report instead of aborting.
-      std::fprintf(stderr, "popsim: %s\n", e.what());
-      return usage();
-    }
-    const pp::tuned_runner<pp::fast_protocol>& runner = *prepared;
-    std::printf("engine: order=%s pack=u%d%s\n", pp::to_string(runner.order()),
-                runner.pack_bits(),
-                runner.packed() ? "" : " (lazy fallback: |Lambda| beyond the closure budget)");
-    summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2));
-    sample_leader = runner.run(seed.fork(3)).leader;
-  } else if (protocol == "id") {
-    const pp::id_protocol proto(pp::id_protocol::suggested_k(g.num_nodes()));
-    summary = pp::measure_election(proto, g, trial_count, seed.fork(2));
-    sample_leader = pp::run_until_stable(proto, g, seed.fork(3)).leader;
-  } else if (protocol == "six") {
-    const pp::beauquier_protocol proto(g.num_nodes());
-    summary = pp::measure_beauquier_event_driven(proto, g, trial_count,
-                                                 seed.fork(2), UINT64_MAX);
-    sample_leader =
-        pp::run_beauquier_event_driven(proto, g, seed.fork(3), UINT64_MAX).leader;
-  } else if (protocol == "star") {
-    const pp::star_protocol proto;
-    summary = pp::measure_election(proto, g, trial_count, seed.fork(2),
-                                   {.max_steps = 1'000'000});
-    const auto r = pp::run_until_stable(proto, g, seed.fork(3),
-                                        {.max_steps = 1'000'000});
-    sample_leader = r.leader;
-  } else {
-    return usage();
-  }
+ private:
+  std::string dir_;
+  std::string path_;
+};
 
+// Shards the sweep described by (artifact, cfg) across cfg.jobs worker
+// subprocesses of this binary and merges their record streams.  The merged
+// summary is identical to the serial one (fleet/sweep.h); worker accounting
+// goes to stderr so serial and fleet stdout stay diffable.
+pp::election_summary run_fleet(const std::string& artifact_path,
+                               const cli_config& cfg, const char* argv0,
+                               const pp::sim_options& options) {
+  pp::fleet::worker_manifest manifest;
+  manifest.artifact_path = artifact_path;
+  manifest.seed = cfg.seed;
+  manifest.trials = cfg.trials;
+  manifest.jobs = static_cast<int>(cfg.jobs);
+  manifest.max_steps = options.max_steps;
+  manifest.wellmixed_batch = options.wellmixed_batch;
+  const temp_file manifest_file("manifest");
+  pp::fleet::write_manifest(manifest, manifest_file.path());
+  std::fprintf(stderr, "popsim: fleet sweep, %d workers x %llu-trial blocks\n",
+               manifest.jobs,
+               static_cast<unsigned long long>(cfg.trials / cfg.jobs));
+  const auto results = pp::fleet::spawn_worker_sweep(
+      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest);
+  return pp::summarize_election_results(results);
+}
+
+void print_graph_summary(const pp::election_summary& summary, int trials,
+                         pp::node_id sample_leader) {
   std::printf("stabilized: %.0f%% of %d trials\n",
-              100.0 * summary.stabilized_fraction, trial_count);
+              100.0 * summary.stabilized_fraction, trials);
   if (summary.steps.count > 0) {
     std::printf("steps: mean %.0f (sd %.0f, median %.0f, [q10,q90]=[%.0f, %.0f])\n",
                 summary.steps.mean, summary.steps.stddev, summary.steps.median,
                 summary.steps.q10, summary.steps.q90);
   }
   std::printf("sample leader: node %d\n", sample_leader);
+}
+
+void print_wellmixed_summary(const pp::election_summary& summary, int trials) {
+  std::printf("stabilized: %.0f%% of %d trials\n",
+              100.0 * summary.stabilized_fraction, trials);
+  if (summary.steps.count > 0) {
+    std::printf("steps: mean %.3g (sd %.2g, median %.3g, [q10,q90]=[%.3g, %.3g])\n",
+                summary.steps.mean, summary.steps.stddev, summary.steps.median,
+                summary.steps.q10, summary.steps.q90);
+  }
+  // A stabilized trial has exactly one leader by the tracker's predicate;
+  // agents are exchangeable, so there is no node id to report.
+  if (summary.stabilized_fraction > 0) {
+    std::printf("stabilized trials elected a unique leader\n");
+  }
+}
+
+// Serial-or-fleet well-mixed sweep + report, shared by the classic and
+// artifact entry points (P is fast_protocol or beauquier_protocol).
+template <typename P>
+int run_wellmixed_mode(const P& proto, std::uint64_t n, const cli_config& cfg,
+                       const char* argv0, const std::string& family,
+                       const std::string& loaded_path) {
+  pp::rng seed(cfg.seed);
+  const int trial_count = static_cast<int>(cfg.trials);
+  const pp::sim_options options;
+  pp::election_summary summary;
+  std::string artifact_path = loaded_path;
+  std::optional<temp_file> temp_artifact;
+  if (artifact_path.empty() && (cfg.jobs > 1 || !cfg.save_path.empty())) {
+    const auto initial = pp::initial_multiset(proto, n);
+    pp::fleet::protocol_desc desc;
+    if constexpr (std::is_same_v<P, pp::fast_protocol>) {
+      desc = pp::fleet::fast_desc(proto.params());
+    } else {
+      desc = pp::fleet::six_desc(proto.num_nodes());
+    }
+    const auto artifact =
+        pp::fleet::make_wellmixed_artifact(proto, initial, n, family, desc);
+    artifact_path = cfg.save_path;
+    if (artifact_path.empty()) {
+      artifact_path = temp_artifact.emplace("artifact.ppaf").path();
+    }
+    pp::fleet::save_artifact(artifact, artifact_path);
+  }
+  if (cfg.jobs > 1) {
+    summary = run_fleet(artifact_path, cfg, argv0, options);
+  } else {
+    summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
+  }
+  std::printf("well-mixed clique: n=%llu (multiset configuration, no edge list)\n",
+              static_cast<unsigned long long>(n));
+  print_wellmixed_summary(summary, trial_count);
+  return 0;
+}
+
+// Serial-or-fleet tuned-engine sweep + report over a prepared runner; the
+// artifact (when needed) snapshots exactly this runner.
+int run_tuned_mode(const pp::fast_protocol& proto,
+                   const pp::tuned_runner<pp::fast_protocol>& runner,
+                   const pp::graph& g, const cli_config& cfg, const char* argv0,
+                   const std::string& family, const std::string& loaded_path) {
+  pp::rng seed(cfg.seed);
+  const int trial_count = static_cast<int>(cfg.trials);
+  const pp::sim_options options;
+  std::printf("graph: %s n=%d m=%lld Δ=%d\n", family.c_str(), g.num_nodes(),
+              static_cast<long long>(g.num_edges()), g.max_degree());
+  std::printf("engine: order=%s pack=u%d%s\n", pp::to_string(runner.order()),
+              runner.pack_bits(),
+              runner.packed() ? "" : " (lazy fallback: |Lambda| beyond the closure budget)");
+
+  std::string artifact_path = loaded_path;
+  std::optional<temp_file> temp_artifact;
+  if (artifact_path.empty() && (cfg.jobs > 1 || !cfg.save_path.empty())) {
+    const auto artifact = pp::fleet::make_tuned_artifact(
+        runner, g, family, pp::fleet::fast_desc(proto.params()));
+    artifact_path = cfg.save_path;
+    if (artifact_path.empty()) {
+      artifact_path = temp_artifact.emplace("artifact.ppaf").path();
+    }
+    pp::fleet::save_artifact(artifact, artifact_path);
+  }
+  pp::election_summary summary;
+  if (cfg.jobs > 1) {
+    summary = run_fleet(artifact_path, cfg, argv0, options);
+  } else {
+    summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2));
+  }
+  const pp::node_id sample_leader = runner.run(seed.fork(3)).leader;
+  print_graph_summary(summary, trial_count, sample_leader);
 
   if (const char* dot = std::getenv("POPSIM_DOT"); dot != nullptr && dot[0] == '1') {
     std::vector<bool> leaders(static_cast<std::size_t>(g.num_nodes()), false);
@@ -263,4 +332,262 @@ int main(int argc, char** argv) {
     std::fputs(pp::to_dot(g, leaders).c_str(), stdout);
   }
   return 0;
+}
+
+// popsim --worker MANIFEST INDEX: load the manifest + artifact, rebuild and
+// validate the sweep, and stream this worker's trial block to stdout as
+// length-prefixed records.  Nothing else may touch stdout here.
+int worker_main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "popsim: --worker needs <manifest> <index>\n");
+    return 2;
+  }
+  std::uint64_t index = 0;
+  if (!parse_u64(argv[3], index)) {
+    std::fprintf(stderr, "popsim: --worker index must be a non-negative integer\n");
+    return 2;
+  }
+  try {
+    const auto manifest = pp::fleet::read_manifest(argv[2]);
+    pp::expects(index < static_cast<std::uint64_t>(manifest.jobs),
+                "popsim --worker: index exceeds the manifest's job count");
+    const auto artifact = pp::fleet::load_artifact(manifest.artifact_path);
+    pp::sim_options options;
+    options.max_steps = manifest.max_steps;
+    options.wellmixed_batch = manifest.wellmixed_batch;
+    // Trial t of the sweep uses rng(seed).fork(2).fork(t) — the exact
+    // generator the serial measure_election_* call hands it.
+    const pp::rng trial_gen = pp::rng(manifest.seed).fork(2);
+    const int w = static_cast<int>(index);
+
+    if (artifact.engine == pp::fleet::artifact_engine::tuned) {
+      pp::expects(artifact.protocol.kind == pp::fleet::protocol_kind::fast,
+                  "popsim --worker: tuned artifacts carry the fast protocol");
+      pp::expects(artifact.graph.has_value(),
+                  "popsim --worker: tuned artifact without a graph section");
+      const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
+      const pp::graph g = pp::fleet::rebuild_graph(*artifact.graph);
+      const pp::tuned_runner<pp::fast_protocol> runner(
+          proto, g, pp::fleet::tuning_of(artifact));
+      pp::fleet::validate_tuned_artifact(artifact, runner);
+      pp::fleet::run_worker_block(
+          manifest, w, STDOUT_FILENO,
+          [&](std::uint64_t, pp::rng gen) { return runner.run(gen, options); },
+          trial_gen);
+      return 0;
+    }
+
+    pp::expects(artifact.wellmixed.has_value(),
+                "popsim --worker: well-mixed artifact without a multiset section");
+    const std::uint64_t n = artifact.wellmixed->population;
+    const auto run_wm = [&]<typename P>(const P& proto) {
+      const pp::wellmixed_sweep<P> sweep(proto, n);
+      pp::fleet::validate_wellmixed_artifact(artifact, proto, sweep.initial());
+      pp::fleet::run_worker_block(
+          manifest, w, STDOUT_FILENO,
+          [&](std::uint64_t, pp::rng gen) { return sweep.run(gen, options); },
+          trial_gen);
+    };
+    if (artifact.protocol.kind == pp::fleet::protocol_kind::fast) {
+      run_wm(pp::fast_protocol(pp::fleet::fast_params_of(artifact.protocol)));
+    } else {
+      run_wm(pp::beauquier_protocol(pp::fleet::six_population_of(artifact.protocol)));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "popsim --worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+// popsim --load-artifact FILE ...: rebuild the sweep from the artifact
+// (validating the rebuild against the stored sections) and run it.
+int artifact_main(const cli_config& cfg, const char* argv0) {
+  const auto artifact = pp::fleet::load_artifact(cfg.load_path);
+  if (!cfg.save_path.empty()) {
+    // Round-trip re-save of the *loaded* struct: byte-identical to the input
+    // by construction (the CI round-trip gate `cmp`s the two files).
+    pp::fleet::save_artifact(artifact, cfg.save_path);
+  }
+  if (artifact.engine == pp::fleet::artifact_engine::tuned) {
+    pp::expects(artifact.protocol.kind == pp::fleet::protocol_kind::fast,
+                "popsim: tuned artifacts carry the fast protocol");
+    pp::expects(artifact.graph.has_value(),
+                "popsim: tuned artifact without a graph section");
+    const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
+    const pp::graph g = pp::fleet::rebuild_graph(*artifact.graph);
+    const pp::tuned_runner<pp::fast_protocol> runner(
+        proto, g, pp::fleet::tuning_of(artifact));
+    pp::fleet::validate_tuned_artifact(artifact, runner);
+    return run_tuned_mode(proto, runner, g, cfg, argv0, artifact.family,
+                          cfg.load_path);
+  }
+  pp::expects(artifact.wellmixed.has_value(),
+              "popsim: well-mixed artifact without a multiset section");
+  const std::uint64_t n = artifact.wellmixed->population;
+  if (artifact.protocol.kind == pp::fleet::protocol_kind::fast) {
+    const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
+    pp::fleet::validate_wellmixed_artifact(artifact, proto,
+                                           pp::initial_multiset(proto, n));
+    return run_wellmixed_mode(proto, n, cfg, argv0, artifact.family, cfg.load_path);
+  }
+  const pp::beauquier_protocol proto(pp::fleet::six_population_of(artifact.protocol));
+  pp::fleet::validate_wellmixed_artifact(artifact, proto,
+                                         pp::initial_multiset(proto, n));
+  return run_wellmixed_mode(proto, n, cfg, argv0, artifact.family, cfg.load_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--worker") {
+    return worker_main(argc, argv);
+  }
+  try {
+    if (argc >= 2 && argv[1][0] == '-') {
+      // Flag-only invocation: the sweep comes from an artifact.
+      cli_config cfg;
+      if (!parse_flags(argc, argv, 1, cfg)) return usage();
+      if (cfg.load_path.empty()) return usage();
+      if (cfg.engine_requested || cfg.tuning_requested) {
+        std::fprintf(stderr,
+                     "popsim: --engine/--order/--pack are recorded in the "
+                     "artifact; they cannot be overridden at load time\n");
+        return usage();
+      }
+      return artifact_main(cfg, argv[0]);
+    }
+
+    if (argc < 4) return usage();
+    const std::string family_name = argv[1];
+    std::uint64_t n_value = 0;
+    if (!parse_u64(argv[2], n_value) || n_value < 2 ||
+        n_value > static_cast<std::uint64_t>(INT32_MAX)) {
+      std::fprintf(stderr, "popsim: n must be an integer in [2, %d]\n", INT32_MAX);
+      return usage();
+    }
+    const std::string protocol = argv[3];
+
+    cli_config cfg;
+    if (!parse_flags(argc, argv, 4, cfg)) return usage();
+    if (!cfg.load_path.empty()) {
+      std::fprintf(stderr,
+                   "popsim: --load-artifact replaces the positional "
+                   "<family> <n> <protocol> arguments\n");
+      return usage();
+    }
+
+    pp::rng seed(cfg.seed);
+    const int trial_count = static_cast<int>(cfg.trials);
+
+    // --- well-mixed multiset engine: no graph object, clique only ---
+    if (cfg.engine == "wellmixed") {
+      if (cfg.tuning_requested) {
+        std::fprintf(stderr,
+                     "popsim: --order/--pack tune the per-interaction compiled "
+                     "engine; the wellmixed engine has no node array to pack\n");
+        return usage();
+      }
+      if (family_name != "clique") {
+        std::fprintf(stderr,
+                     "popsim: --engine wellmixed simulates the well-mixed "
+                     "(clique) model only\n");
+        return usage();
+      }
+      const std::uint64_t n = n_value;
+      if (protocol == "fast") {
+        const pp::fast_protocol proto(pp::fast_params::practical_clique(n));
+        return run_wellmixed_mode(proto, n, cfg, argv[0], family_name, "");
+      }
+      if (protocol == "six") {
+        const pp::beauquier_protocol proto(static_cast<pp::node_id>(n));
+        return run_wellmixed_mode(proto, n, cfg, argv[0], family_name, "");
+      }
+      std::fprintf(stderr,
+                   "popsim: --engine wellmixed supports protocols fast|six\n");
+      return usage();
+    }
+
+    // Reject tuning/fleet flags for non-engine protocols before paying for
+    // the graph construction (a dense family at large n is expensive).
+    if (cfg.tuning_requested && protocol != "fast") {
+      std::fprintf(stderr,
+                   "popsim: --order/--pack apply to the compiled engine, i.e. "
+                   "protocol fast\n");
+      return usage();
+    }
+    if ((cfg.jobs > 1 || !cfg.save_path.empty()) && protocol != "fast") {
+      std::fprintf(stderr,
+                   "popsim: --jobs/--save-artifact need the compiled engine "
+                   "(protocol fast, or --engine wellmixed)\n");
+      return usage();
+    }
+
+    const pp::node_id n = static_cast<pp::node_id>(n_value);
+    const pp::graph_family* family = nullptr;
+    try {
+      family = &pp::family_by_name(family_name);
+    } catch (const std::invalid_argument&) {
+      return usage();
+    }
+    pp::rng make_gen = seed.fork(0);
+    const pp::graph g = family->make(n, make_gen);
+
+    if (protocol == "fast") {
+      const double b =
+          pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
+      const pp::fast_protocol proto(pp::fast_params::practical(g, b));
+      // Tuned compiled engine (src/engine/): the runner resolves the data
+      // layout (vertex order, config/table word widths) once and shares it
+      // across the trials.  Defaults (natural order, auto width) reproduce
+      // the reference simulator's seeded results exactly.
+      std::optional<pp::tuned_runner<pp::fast_protocol>> prepared;
+      try {
+        prepared.emplace(proto, g, cfg.tuning);
+      } catch (const std::invalid_argument& e) {
+        // e.g. --pack 8 when |Λ| > 256, or a forced width on an unclosable
+        // table: report instead of aborting.
+        std::fprintf(stderr, "popsim: %s\n", e.what());
+        return usage();
+      }
+      return run_tuned_mode(proto, *prepared, g, cfg, argv[0], family_name, "");
+    }
+
+    std::printf("graph: %s n=%d m=%lld Δ=%d\n", family_name.c_str(), g.num_nodes(),
+                static_cast<long long>(g.num_edges()), g.max_degree());
+    pp::election_summary summary;
+    pp::node_id sample_leader = -1;
+    if (protocol == "id") {
+      const pp::id_protocol proto(pp::id_protocol::suggested_k(g.num_nodes()));
+      summary = pp::measure_election(proto, g, trial_count, seed.fork(2));
+      sample_leader = pp::run_until_stable(proto, g, seed.fork(3)).leader;
+    } else if (protocol == "six") {
+      const pp::beauquier_protocol proto(g.num_nodes());
+      summary = pp::measure_beauquier_event_driven(proto, g, trial_count,
+                                                   seed.fork(2), UINT64_MAX);
+      sample_leader =
+          pp::run_beauquier_event_driven(proto, g, seed.fork(3), UINT64_MAX).leader;
+    } else if (protocol == "star") {
+      const pp::star_protocol proto;
+      summary = pp::measure_election(proto, g, trial_count, seed.fork(2),
+                                     {.max_steps = 1'000'000});
+      const auto r = pp::run_until_stable(proto, g, seed.fork(3),
+                                          {.max_steps = 1'000'000});
+      sample_leader = r.leader;
+    } else {
+      return usage();
+    }
+
+    print_graph_summary(summary, trial_count, sample_leader);
+
+    if (const char* dot = std::getenv("POPSIM_DOT"); dot != nullptr && dot[0] == '1') {
+      std::vector<bool> leaders(static_cast<std::size_t>(g.num_nodes()), false);
+      if (sample_leader >= 0) leaders[static_cast<std::size_t>(sample_leader)] = true;
+      std::fputs(pp::to_dot(g, leaders).c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "popsim: %s\n", e.what());
+    return 1;
+  }
 }

@@ -13,6 +13,7 @@
 #include "dynamics/epidemic.h"
 #include "engine/engine.h"
 #include "engine/wellmixed/wellmixed.h"
+#include "fleet/sweep.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -112,6 +113,38 @@ election_summary measure_election_tuned(const P& proto, const graph& g,
   return measure_election_tuned(runner, trials, seed_gen, options, threads);
 }
 
+// As measure_election_tuned, but sharding the trials across `jobs` worker
+// *processes* (fleet/sweep.h) instead of threads: workers inherit the
+// prepared runner copy-on-write and stream per-trial results back over
+// pipes.  Trial t still uses seed_gen.fork(t) and the merge reassembles the
+// per-trial vector by index, so the summary is byte-identical to the serial
+// (and threaded) sweep for any worker count — the seed-partition determinism
+// contract of tests/test_fleet.cpp and the CI fleet-determinism gate.
+template <compilable_protocol P>
+election_summary measure_election_fleet(const tuned_runner<P>& runner,
+                                        int trials, rng seed_gen,
+                                        const sim_options& options = {},
+                                        int jobs = 1) {
+  return summarize_election_results(fleet::fleet_run(
+      static_cast<std::uint64_t>(trials), seed_gen,
+      [&](std::uint64_t, rng gen) { return runner.run(gen, options); }, jobs));
+}
+
+// Process-sharded counterpart of measure_election_wellmixed.  The well-mixed
+// engine is deterministic per (seed, batch size), so the fleet merge is also
+// byte-identical to the serial sweep — stronger than the engine's 3σ
+// statistical contract against the per-interaction simulators.
+template <compilable_protocol P>
+election_summary measure_election_fleet_wellmixed(const P& proto, std::uint64_t n,
+                                                  int trials, rng seed_gen,
+                                                  const sim_options& options = {},
+                                                  int jobs = 1) {
+  const wellmixed_sweep<P> sweep(proto, n);
+  return summarize_election_results(fleet::fleet_run(
+      static_cast<std::uint64_t>(trials), seed_gen,
+      [&](std::uint64_t, rng gen) { return sweep.run(gen, options); }, jobs));
+}
+
 // One tuned election (single-run convenience over tuned_runner; callers that
 // run many trials should build the runner once instead).
 template <compilable_protocol P>
@@ -134,22 +167,11 @@ election_summary measure_election_wellmixed(const P& proto, std::uint64_t n,
                                             int trials, rng seed_gen,
                                             const sim_options& options = {},
                                             std::size_t threads = 0) {
-  const auto initial = initial_multiset(proto, n);
-  compiled_protocol<P> compiled(proto);
-  for (const auto& [state, k] : initial) compiled.intern(state);
-  const bool shared = compiled.close(kEngineClosureBudget);
-
+  const wellmixed_sweep<P> sweep(proto, n);
   std::vector<election_result> results(static_cast<std::size_t>(trials));
   parallel_for(
       static_cast<std::size_t>(trials),
-      [&](std::size_t t) {
-        if (shared) {
-          results[t] = run_wellmixed(compiled, initial, n, seed_gen.fork(t), options);
-        } else {
-          compiled_protocol<P> local(proto);
-          results[t] = run_wellmixed(local, initial, n, seed_gen.fork(t), options);
-        }
-      },
+      [&](std::size_t t) { results[t] = sweep.run(seed_gen.fork(t), options); },
       threads);
   return summarize_election_results(results);
 }

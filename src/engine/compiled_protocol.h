@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <span>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -347,6 +348,9 @@ class packed_table {
   }
   std::size_t num_states() const { return k_; }
   std::size_t bytes() const { return entries_.size() * sizeof(packed_entry<W>); }
+  // Raw row-major entries (k² of them, padding-free per the static_asserts
+  // above) — the bytes the fleet artifact snapshots and byte-compares.
+  std::span<const packed_entry<W>> entries() const { return entries_; }
 
  private:
   std::size_t k_ = 0;

@@ -52,6 +52,7 @@
 #include "core/simulator.h"
 #include "engine/block_rng.h"
 #include "engine/compiled_protocol.h"
+#include "engine/engine.h"  // kEngineClosureBudget, shared with the sweeps
 #include "engine/wellmixed/sampling.h"
 #include "support/expects.h"
 #include "support/rng.h"
@@ -597,5 +598,48 @@ election_result run_wellmixed(const P& proto, std::uint64_t n, rng gen,
   const auto initial = initial_multiset(proto, n);
   return run_wellmixed(compiled, initial, n, gen, options);
 }
+
+// Prepared multi-trial well-mixed sweep: the shared initial multiset plus a
+// compiled table closed within the engine budget.  When the closure succeeds
+// the table is immutable and every trial shares it (safe across threads and
+// forked processes); otherwise each trial compiles its own lazy table.  This
+// is the one home of that policy — measure_election_wellmixed, the fleet
+// sweeps and popsim's worker mode all run trials through it.
+template <compilable_protocol P>
+class wellmixed_sweep {
+ public:
+  wellmixed_sweep(const P& proto, wellmixed_multiset<P> initial, std::uint64_t n)
+      : proto_(&proto), initial_(std::move(initial)), n_(n), compiled_(proto) {
+    for (const auto& [state, count] : initial_) compiled_.intern(state);
+    shared_ = compiled_.close(kEngineClosureBudget);
+  }
+
+  wellmixed_sweep(const P& proto, std::uint64_t n)
+      : wellmixed_sweep(proto, initial_multiset(proto, n), n) {}
+
+  // One trial.  const because trials of a sweep run concurrently: when
+  // shared, the closed table is never mutated; otherwise the trial runs on
+  // its own local table.
+  election_result run(rng gen, const sim_options& options = {}) const {
+    if (shared_) return run_wellmixed(compiled_, initial_, n_, gen, options);
+    compiled_protocol<P> local(*proto_);
+    return run_wellmixed(local, initial_, n_, gen, options);
+  }
+
+  const wellmixed_multiset<P>& initial() const { return initial_; }
+  std::uint64_t population() const { return n_; }
+  // True iff the reachable space closed and the table is shared read-only.
+  bool shared() const { return shared_; }
+  // The prepared table (closed iff shared()) — what the fleet artifact
+  // snapshots and validates.
+  const compiled_protocol<P>& compiled() const { return compiled_; }
+
+ private:
+  const P* proto_;
+  wellmixed_multiset<P> initial_;
+  std::uint64_t n_;
+  mutable compiled_protocol<P> compiled_;  // immutable once closed (shared)
+  bool shared_ = false;
+};
 
 }  // namespace pp

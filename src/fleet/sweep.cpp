@@ -1,0 +1,330 @@
+#include "fleet/sweep.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/expects.h"
+#include "support/parse.h"
+
+namespace pp::fleet {
+
+namespace {
+
+// u64 trial + u64 steps + u64 distinct + i32 leader + u8 stabilized.
+constexpr std::uint32_t kRecordPayload = 8 + 8 + 8 + 4 + 1;
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      ensure(errno == EINTR, "fleet: pipe write failed");
+      continue;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+// Reads exactly `size` bytes; returns false on EOF before the first byte,
+// throws on EOF mid-buffer (a torn record).
+bool read_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      ensure(errno == EINTR, "fleet: pipe read failed");
+      continue;
+    }
+    if (n == 0) {
+      ensure(got == 0, "fleet: torn record (worker died mid-write?)");
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+template <typename T>
+void pack(std::uint8_t*& p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+  p += sizeof(T);
+}
+
+template <typename T>
+T unpack(const std::uint8_t*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+// Reads one worker's record stream to EOF into the indexed result vector,
+// flagging duplicates and out-of-range indices.
+void drain_records(int fd, std::vector<election_result>& results,
+                   std::vector<std::uint8_t>& received) {
+  trial_record record;
+  while (read_trial_record(fd, record)) {
+    ensure(record.trial < results.size(), "fleet: record for an unknown trial");
+    ensure(!received[record.trial], "fleet: duplicate record for a trial");
+    received[record.trial] = 1;
+    results[record.trial] = record.result;
+  }
+}
+
+struct child_proc {
+  pid_t pid = -1;
+  int read_fd = -1;
+};
+
+// Drains every child's pipe, reaps every child, and verifies all trials
+// arrived exactly once — shared tail of the fork and exec drivers.  Children
+// are always reaped, even when draining throws.
+std::vector<election_result> collect(std::vector<child_proc>& children,
+                                     std::uint64_t trials, const char* what) {
+  std::vector<election_result> results(trials);
+  std::vector<std::uint8_t> received(trials, 0);
+  std::string drain_error;
+  for (child_proc& c : children) {
+    try {
+      drain_records(c.read_fd, results, received);
+    } catch (const std::exception& e) {
+      if (drain_error.empty()) drain_error = e.what();
+    }
+    ::close(c.read_fd);
+  }
+  bool worker_failed = false;
+  for (child_proc& c : children) {
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) worker_failed = true;
+  }
+  // Report both failure modes: a drain error (torn record, version skew) is
+  // often the root cause of the worker deaths it provokes via SIGPIPE, so
+  // it must not be masked by the generic worker-failure message.
+  std::string failure;
+  if (worker_failed) {
+    failure = std::string(what) + ": a worker process failed (see its stderr)";
+  }
+  if (!drain_error.empty()) {
+    failure += failure.empty() ? drain_error : "; " + drain_error;
+  }
+  ensure(failure.empty(), failure);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    ensure(received[t] != 0, std::string(what) + ": a trial result never arrived");
+  }
+  return results;
+}
+
+}  // namespace
+
+trial_range worker_range(std::uint64_t trials, int jobs, int worker) {
+  expects(jobs >= 1, "worker_range: jobs must be >= 1");
+  expects(worker >= 0 && worker < jobs, "worker_range: worker index out of range");
+  const std::uint64_t w = static_cast<std::uint64_t>(worker);
+  const std::uint64_t block = trials / static_cast<std::uint64_t>(jobs);
+  const std::uint64_t extra = trials % static_cast<std::uint64_t>(jobs);
+  trial_range r;
+  r.base = w * block + (w < extra ? w : extra);
+  r.count = block + (w < extra ? 1 : 0);
+  return r;
+}
+
+void write_trial_record(int fd, const trial_record& record) {
+  std::uint8_t buf[4 + kRecordPayload];
+  std::uint8_t* p = buf;
+  pack<std::uint32_t>(p, kRecordPayload);
+  pack<std::uint64_t>(p, record.trial);
+  pack<std::uint64_t>(p, record.result.steps);
+  pack<std::uint64_t>(p, static_cast<std::uint64_t>(record.result.distinct_states_used));
+  pack<std::int32_t>(p, static_cast<std::int32_t>(record.result.leader));
+  pack<std::uint8_t>(p, record.result.stabilized ? 1 : 0);
+  write_all(fd, buf, sizeof(buf));
+}
+
+bool read_trial_record(int fd, trial_record& out) {
+  std::uint32_t length = 0;
+  if (!read_all(fd, &length, sizeof(length))) return false;
+  ensure(length == kRecordPayload, "fleet: record length mismatch "
+                                   "(producer/reader version skew)");
+  std::uint8_t buf[kRecordPayload];
+  ensure(read_all(fd, buf, sizeof(buf)), "fleet: torn record payload");
+  const std::uint8_t* p = buf;
+  out.trial = unpack<std::uint64_t>(p);
+  out.result.steps = unpack<std::uint64_t>(p);
+  out.result.distinct_states_used =
+      static_cast<std::size_t>(unpack<std::uint64_t>(p));
+  out.result.leader = static_cast<node_id>(unpack<std::int32_t>(p));
+  out.result.stabilized = unpack<std::uint8_t>(p) != 0;
+  return true;
+}
+
+std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
+                                       const trial_fn& fn, int jobs) {
+  expects(jobs >= 1, "fleet_run: jobs must be >= 1");
+  if (static_cast<std::uint64_t>(jobs) > trials) {
+    jobs = trials > 0 ? static_cast<int>(trials) : 1;
+  }
+  if (jobs == 1) {
+    std::vector<election_result> results(trials);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      results[t] = fn(t, seed_gen.fork(t));
+    }
+    return results;
+  }
+
+  std::vector<child_proc> children;
+  children.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    int fds[2];
+    ensure(::pipe(fds) == 0, "fleet_run: pipe failed");
+    const pid_t pid = ::fork();
+    ensure(pid >= 0, "fleet_run: fork failed");
+    if (pid == 0) {
+      // Worker: compute the block, stream records, _exit without running
+      // atexit handlers (the parent owns the inherited heap; under ASan this
+      // also skips a bogus leak scan of the parent's allocations).
+      ::close(fds[0]);
+      for (const child_proc& c : children) ::close(c.read_fd);
+      int status = 0;
+      try {
+        const trial_range range = worker_range(trials, jobs, w);
+        for (std::uint64_t t = range.base; t < range.base + range.count; ++t) {
+          write_trial_record(fds[1], {t, fn(t, seed_gen.fork(t))});
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet worker %d: %s\n", w, e.what());
+        status = 1;
+      }
+      ::close(fds[1]);
+      ::_exit(status);
+    }
+    ::close(fds[1]);
+    children.push_back({pid, fds[0]});
+  }
+  return collect(children, trials, "fleet_run");
+}
+
+void write_manifest(const worker_manifest& manifest, const std::string& path) {
+  expects(manifest.artifact_path.find('\n') == std::string::npos,
+          "write_manifest: artifact path must not contain newlines");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  expects(f != nullptr, "write_manifest: cannot open " + path);
+  std::fprintf(f, "ppfleet-manifest v1\n");
+  std::fprintf(f, "artifact=%s\n", manifest.artifact_path.c_str());
+  std::fprintf(f, "seed=%llu\n", static_cast<unsigned long long>(manifest.seed));
+  std::fprintf(f, "trials=%llu\n", static_cast<unsigned long long>(manifest.trials));
+  std::fprintf(f, "jobs=%d\n", manifest.jobs);
+  std::fprintf(f, "max_steps=%llu\n",
+               static_cast<unsigned long long>(manifest.max_steps));
+  std::fprintf(f, "batch=%llu\n",
+               static_cast<unsigned long long>(manifest.wellmixed_batch));
+  expects(std::fclose(f) == 0, "write_manifest: short write to " + path);
+}
+
+worker_manifest read_manifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  expects(f != nullptr, "read_manifest: cannot open " + path);
+  worker_manifest m;
+  char line[4096];
+  bool saw_header = false;
+  bool saw_artifact = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string s(line);
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    if (s.empty()) continue;
+    if (!saw_header) {
+      if (s != "ppfleet-manifest v1") break;
+      saw_header = true;
+      continue;
+    }
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      saw_header = false;  // malformed line: reject below
+      break;
+    }
+    const std::string key = s.substr(0, eq);
+    const std::string value = s.substr(eq + 1);
+    // Strict digits-only parse: manifests are hand-editable, so a signed
+    // value like trials=-1 must be rejected, not silently wrapped to 2^64-1
+    // by strtoull.
+    std::uint64_t num = 0;
+    const bool numeric = parse_u64(value.c_str(), num);
+    if (key == "artifact") {
+      m.artifact_path = value;
+      saw_artifact = !value.empty();
+    } else if (key == "seed" && numeric) {
+      m.seed = num;
+    } else if (key == "trials" && numeric && num >= 1 && num <= 1'000'000) {
+      // Same bound the CLI enforces on --trials.
+      m.trials = num;
+    } else if (key == "jobs" && numeric && num >= 1 && num <= 100000) {
+      m.jobs = static_cast<int>(num);
+    } else if (key == "max_steps" && numeric) {
+      m.max_steps = num;
+    } else if (key == "batch" && numeric) {
+      m.wellmixed_batch = num;
+    } else {
+      saw_header = false;  // unknown key or bad value: reject below
+      break;
+    }
+  }
+  std::fclose(f);
+  expects(saw_header && saw_artifact,
+          "read_manifest: " + path + " is not a valid fleet manifest");
+  return m;
+}
+
+void run_worker_block(const worker_manifest& manifest, int index, int fd,
+                      const trial_fn& fn, const rng& seed_gen) {
+  const trial_range range = worker_range(manifest.trials, manifest.jobs, index);
+  for (std::uint64_t t = range.base; t < range.base + range.count; ++t) {
+    write_trial_record(fd, {t, fn(t, seed_gen.fork(t))});
+  }
+}
+
+std::vector<election_result> spawn_worker_sweep(const std::string& exe,
+                                                const std::string& manifest_path,
+                                                const worker_manifest& manifest) {
+  expects(manifest.jobs >= 1, "spawn_worker_sweep: jobs must be >= 1");
+  std::vector<child_proc> children;
+  children.reserve(static_cast<std::size_t>(manifest.jobs));
+  for (int w = 0; w < manifest.jobs; ++w) {
+    int fds[2];
+    ensure(::pipe(fds) == 0, "spawn_worker_sweep: pipe failed");
+    const pid_t pid = ::fork();
+    ensure(pid >= 0, "spawn_worker_sweep: fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (const child_proc& c : children) ::close(c.read_fd);
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[1]);
+      const std::string index = std::to_string(w);
+      ::execl(exe.c_str(), exe.c_str(), "--worker", manifest_path.c_str(),
+              index.c_str(), static_cast<char*>(nullptr));
+      std::fprintf(stderr, "spawn_worker_sweep: exec %s failed: %s\n",
+                   exe.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    children.push_back({pid, fds[0]});
+  }
+  return collect(children, manifest.trials, "spawn_worker_sweep");
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) return std::string(buf, static_cast<std::size_t>(len));
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+}  // namespace pp::fleet

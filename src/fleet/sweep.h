@@ -1,0 +1,105 @@
+// Process-level fleet sweeps: many independent trials sharded across worker
+// OS processes.
+//
+// A sweep over T trials is embarrassingly parallel — trial t's generator is
+// seed_gen.fork(t) and nothing else is shared — so the fleet driver simply
+// partitions [0, T) into contiguous blocks, runs each block in its own
+// process, and streams per-trial results back as length-prefixed records.
+// The parent reassembles the records *by trial index* before summarizing, so
+// a fleet sweep with any worker count produces exactly the per-trial result
+// vector of a serial sweep over the same seed list: for the deterministic
+// engines (per-interaction tuned runner; well-mixed at fixed batch) the
+// merged summary is byte-identical to serial.  That seed-partition
+// determinism is the contract tests/test_fleet.cpp and the CI
+// fleet-determinism step enforce.
+//
+// Two process models share the record protocol:
+//   * fleet_run forks the current process — the prepared runner (closed
+//     table, packed endpoints) is inherited copy-on-write, so workers start
+//     instantly and share every read-only byte;
+//   * spawn_worker_sweep execs `popsim --worker <manifest> <index>`
+//     subprocesses that load_artifact and rebuild the sweep themselves —
+//     the model that generalises to other hosts (the manifest + artifact
+//     pair is the whole job description).
+//
+// Record framing (native-endian, same-host pipes): u32 payload length, then
+//   u64 trial index, u64 steps, u64 distinct_states_used, i32 leader,
+//   u8 stabilized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "support/rng.h"
+
+namespace pp::fleet {
+
+// Contiguous block of trial indices assigned to one worker: the first
+// (trials mod jobs) workers get one extra trial.
+struct trial_range {
+  std::uint64_t base = 0;
+  std::uint64_t count = 0;
+};
+trial_range worker_range(std::uint64_t trials, int jobs, int worker);
+
+// One streamed result; `trial` is the global trial index.
+struct trial_record {
+  std::uint64_t trial = 0;
+  election_result result;
+};
+
+// Length-prefixed record IO on pipe/file descriptors.  write_trial_record
+// retries short writes; read_trial_record returns false on a clean EOF at a
+// record boundary and throws on a torn record.
+void write_trial_record(int fd, const trial_record& record);
+bool read_trial_record(int fd, trial_record& out);
+
+// The per-trial work: called with the global trial index and the trial's
+// forked generator (seed_gen.fork(trial)).
+using trial_fn = std::function<election_result(std::uint64_t trial, rng gen)>;
+
+// Runs `trials` trials across `jobs` forked worker processes and returns the
+// per-trial results indexed by trial (jobs == 1 runs inline).  Worker w
+// computes the worker_range(trials, jobs, w) block; each trial t uses
+// seed_gen.fork(t), so the result vector is identical to the serial loop's.
+// Throws if a worker dies, a record is torn, or any trial fails to arrive.
+std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
+                                       const trial_fn& fn, int jobs);
+
+// Job description shared with `popsim --worker` subprocesses: which artifact
+// to load and how to derive every worker's trial block and seeds.  Stored as
+// a line-based key=value text file so it is diffable and host-portable.
+struct worker_manifest {
+  std::string artifact_path;
+  std::uint64_t seed = 1;       // master seed; trial t uses rng(seed).fork(2).fork(t)
+  std::uint64_t trials = 1;
+  int jobs = 1;
+  std::uint64_t max_steps = UINT64_MAX;
+  std::uint64_t wellmixed_batch = 0;
+};
+
+void write_manifest(const worker_manifest& manifest, const std::string& path);
+worker_manifest read_manifest(const std::string& path);
+
+// Streams worker `index`'s block of the manifest's trials to `fd` (the
+// worker half of spawn_worker_sweep; popsim --worker calls this with
+// STDOUT_FILENO).  Trial t runs fn(t, seed_gen.fork(t)).
+void run_worker_block(const worker_manifest& manifest, int index, int fd,
+                      const trial_fn& fn, const rng& seed_gen);
+
+// Spawns `manifest.jobs` subprocesses `exe --worker <manifest_path> <w>`,
+// reads their stdout record streams, and returns the per-trial results
+// indexed by trial.  Throws if a worker exits nonzero, a record is torn, or
+// any trial fails to arrive.
+std::vector<election_result> spawn_worker_sweep(const std::string& exe,
+                                                const std::string& manifest_path,
+                                                const worker_manifest& manifest);
+
+// Absolute path of the running executable (/proc/self/exe), falling back to
+// `argv0` where procfs is unavailable.
+std::string self_exe_path(const char* argv0);
+
+}  // namespace pp::fleet

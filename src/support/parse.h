@@ -1,0 +1,26 @@
+// Strict string-to-integer parsing shared by the CLI and the fleet manifest
+// reader, so the two can never drift in which numbers they accept.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace pp {
+
+// Strict full-string parse of a non-negative decimal integer: the text must
+// start with a digit and consume entirely, so signs, whitespace, trailing
+// garbage and overflow all fail loudly instead of silently truncating or
+// wrapping (atoi accepted "10x" and "1e6" as 10; strtoull wraps "-1" to
+// 2^64 - 1).
+inline bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text < '0' || *text > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace pp

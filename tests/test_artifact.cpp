@@ -1,0 +1,228 @@
+// Fleet artifact container (src/fleet/artifact.h): byte-stable round trips,
+// header/checksum rejection, and snapshot/validate over the compiled engine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/beauquier.h"
+#include "core/fast_election.h"
+#include "dynamics/epidemic.h"
+#include "engine/engine.h"
+#include "fleet/artifact.h"
+#include "graph/generators.h"
+
+namespace pp::fleet {
+namespace {
+
+// A small tuned sweep whose reachable space closes (ring + fast protocol).
+struct tuned_fixture {
+  graph g = make_cycle(200);
+  fast_protocol proto;
+  tuned_runner<fast_protocol> runner;
+
+  explicit tuned_fixture(engine_tuning tuning = {})
+      : proto(fast_params::practical(
+            g, estimate_worst_case_broadcast_time(g, 5, 3, rng(3)).value)),
+        runner(proto, g, tuning) {}
+
+  sweep_artifact artifact() const {
+    return make_tuned_artifact(runner, g, "cycle", fast_desc(proto.params()));
+  }
+};
+
+TEST(Artifact, TunedRoundTripIsByteStable) {
+  const tuned_fixture fx;
+  const sweep_artifact a = fx.artifact();
+  const auto bytes = artifact_bytes(a);
+  const sweep_artifact b = artifact_from_bytes(bytes);
+  EXPECT_TRUE(a == b);
+  // save(load(x)) must reproduce x byte for byte — the CI round-trip gate.
+  EXPECT_EQ(bytes, artifact_bytes(b));
+}
+
+TEST(Artifact, FileRoundTrip) {
+  const tuned_fixture fx;
+  const sweep_artifact a = fx.artifact();
+  const std::string path = testing::TempDir() + "/artifact_roundtrip.ppaf";
+  save_artifact(a, path);
+  const sweep_artifact b = load_artifact(path);
+  EXPECT_TRUE(a == b);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, ChecksumDetectsPayloadCorruption) {
+  const tuned_fixture fx;
+  auto bytes = artifact_bytes(fx.artifact());
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[60] ^= 0x01;  // flip one payload bit past the 40-byte header
+  EXPECT_THROW(artifact_from_bytes(bytes), std::invalid_argument);
+}
+
+TEST(Artifact, RejectsBadMagicVersionAndEndianness) {
+  const tuned_fixture fx;
+  const auto good = artifact_bytes(fx.artifact());
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(artifact_from_bytes(bad_magic), std::invalid_argument);
+
+  auto bad_endian = good;
+  // Byte-swap the endianness tag: exactly what a foreign-endian writer
+  // would have produced.
+  std::swap(bad_endian[4], bad_endian[7]);
+  std::swap(bad_endian[5], bad_endian[6]);
+  EXPECT_THROW(artifact_from_bytes(bad_endian), std::invalid_argument);
+
+  auto bad_version = good;
+  bad_version[8] = static_cast<std::uint8_t>(kArtifactVersion + 1);
+  EXPECT_THROW(artifact_from_bytes(bad_version), std::invalid_argument);
+
+  auto truncated = good;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW(artifact_from_bytes(truncated), std::invalid_argument);
+
+  EXPECT_THROW(artifact_from_bytes({}), std::invalid_argument);
+}
+
+TEST(Artifact, TableSnapshotValidatesAndDetectsSkew) {
+  const tuned_fixture fx;
+  const auto& compiled = fx.runner.compiled();
+  table_section t = snapshot_table(compiled);
+  EXPECT_NO_THROW(validate_table(t, compiled));
+  EXPECT_EQ(t.codes.size(), compiled.num_states());
+  EXPECT_EQ(t.entries.size(), compiled.num_states() * compiled.num_states());
+
+  table_section skewed = t;
+  skewed.codes[0] ^= 1;  // a producer whose states encode differently
+  EXPECT_THROW(validate_table(skewed, compiled), std::invalid_argument);
+
+  table_section wrong_entry = t;
+  wrong_entry.entries[1].a2 ^= 1;
+  EXPECT_THROW(validate_table(wrong_entry, compiled), std::invalid_argument);
+}
+
+TEST(Artifact, PackedSnapshotMatchesResolvedWidth) {
+  const tuned_fixture fx;
+  const auto& compiled = fx.runner.compiled();
+  const int width = fx.runner.pack_bits();
+  packed_section p = snapshot_packed(compiled, width);
+  EXPECT_EQ(p.width_bits, static_cast<std::uint32_t>(width));
+  EXPECT_EQ(p.num_states, compiled.num_states());
+  EXPECT_NO_THROW(validate_packed(p, compiled));
+
+  packed_section corrupt = p;
+  corrupt.bytes[0] ^= 1;
+  EXPECT_THROW(validate_packed(corrupt, compiled), std::invalid_argument);
+}
+
+TEST(Artifact, GraphSectionRoundTripsWithPermutation) {
+  // RCM order exercises the stored permutation path.
+  const tuned_fixture fx({.order = vertex_order::rcm});
+  const sweep_artifact a = fx.artifact();
+  ASSERT_TRUE(a.graph.has_value());
+  EXPECT_EQ(a.graph->old_of_new.size(),
+            static_cast<std::size_t>(fx.g.num_nodes()));
+
+  const graph rebuilt = rebuild_graph(*a.graph);
+  EXPECT_EQ(rebuilt.num_nodes(), fx.g.num_nodes());
+  EXPECT_EQ(rebuilt.num_edges(), fx.g.num_edges());
+  EXPECT_TRUE(rebuilt.edges() == fx.g.edges());
+  // Snapshot of the rebuilt graph reproduces the section exactly.
+  std::vector<node_id> old_of_new(a.graph->old_of_new.begin(),
+                                  a.graph->old_of_new.end());
+  EXPECT_TRUE(snapshot_graph(rebuilt, vertex_order::rcm, old_of_new) == *a.graph);
+}
+
+TEST(Artifact, TunedArtifactValidatesAgainstFreshRebuild) {
+  const tuned_fixture fx;
+  const sweep_artifact a = fx.artifact();
+  // A worker's view: rebuild everything from the artifact alone.
+  const fast_protocol proto(fast_params_of(a.protocol));
+  const graph g = rebuild_graph(*a.graph);
+  const tuned_runner<fast_protocol> rebuilt(proto, g, tuning_of(a));
+  EXPECT_NO_THROW(validate_tuned_artifact(a, rebuilt));
+
+  sweep_artifact skewed = a;
+  skewed.pack_bits = skewed.pack_bits == 32 ? 16 : 32;
+  EXPECT_THROW(validate_tuned_artifact(skewed, rebuilt), std::invalid_argument);
+}
+
+TEST(Artifact, ProtocolDescriptorsRoundTrip) {
+  fast_params p;
+  p.h = 5;
+  p.level_threshold = 11;
+  p.max_level = 44;
+  const fast_params q = fast_params_of(fast_desc(p));
+  EXPECT_EQ(q.h, p.h);
+  EXPECT_EQ(q.level_threshold, p.level_threshold);
+  EXPECT_EQ(q.max_level, p.max_level);
+
+  EXPECT_EQ(six_population_of(six_desc(1234)), 1234);
+  EXPECT_THROW(fast_params_of(six_desc(9)), std::invalid_argument);
+  EXPECT_THROW(six_population_of(fast_desc(p)), std::invalid_argument);
+}
+
+TEST(Artifact, WellmixedArtifactRoundTripsAndValidates) {
+  const beauquier_protocol proto(500);
+  const std::uint64_t n = 500;
+  const auto initial = initial_multiset(proto, n);
+  const sweep_artifact a =
+      make_wellmixed_artifact(proto, initial, n, "clique", six_desc(500));
+  ASSERT_TRUE(a.wellmixed.has_value());
+  EXPECT_EQ(a.wellmixed->population, n);
+  // Six states, all candidates with a black token initially: one class.
+  EXPECT_EQ(a.wellmixed->classes.size(), 1u);
+  EXPECT_TRUE(a.table.has_value());  // |Λ| = 6 closes easily
+
+  const auto bytes = artifact_bytes(a);
+  const sweep_artifact b = artifact_from_bytes(bytes);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(bytes, artifact_bytes(b));
+  EXPECT_NO_THROW(validate_wellmixed_artifact(b, proto, initial));
+
+  // A different population diverges loudly.
+  const auto other = initial_multiset(proto, n - 1);
+  EXPECT_THROW(validate_wellmixed_artifact(b, proto, other), std::invalid_argument);
+}
+
+TEST(Artifact, HostileElementCountsAreRejectedBeforeAllocating) {
+  // Hand-craft a checksummed file whose META section claims 2^32-1 protocol
+  // parameters but carries none: the parser must reject it as truncated
+  // instead of reserving gigabytes on the attacker-controlled count.
+  auto put32 = [](std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto put64 = [](std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  std::vector<std::uint8_t> payload;
+  put32(payload, 0x4154454D);  // 'META'
+  put32(payload, 0);           // reserved
+  put64(payload, 12);          // section length
+  put32(payload, 0);           // empty family string
+  put32(payload, 1);           // protocol kind = fast
+  put32(payload, 0xFFFFFFFF);  // hostile parameter count, no bytes behind it
+
+  std::vector<std::uint8_t> file;
+  put32(file, kArtifactMagic);
+  put32(file, kArtifactEndianTag);
+  put32(file, kArtifactVersion);
+  put32(file, 0);  // engine = tuned
+  put32(file, 1);  // one section
+  put32(file, 0);  // reserved
+  put64(file, payload.size());
+  put64(file, fnv1a64(payload.data(), payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+  EXPECT_THROW(artifact_from_bytes(file), std::invalid_argument);
+}
+
+TEST(Artifact, FnvVectors) {
+  // Classic FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ull);
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(fnv1a64(&a, 1), 0xaf63dc4c8601ec8cull);
+}
+
+}  // namespace
+}  // namespace pp::fleet

@@ -1,0 +1,154 @@
+// Regression tests for popsim_cli's exit-code contract: every invalid
+// invocation must exit nonzero (CI's fleet-determinism and artifact gates
+// pipe the binary and rely on failures being loud), and valid fleet
+// invocations must reproduce the serial stdout byte for byte.
+//
+// These tests exec the real binary (path injected by CMake as
+// PP_POPSIM_CLI); they are skipped when the examples are not built.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifdef PP_POPSIM_CLI
+
+// Runs `popsim <args>`, returning {exit code, stdout}.  stderr is routed to
+// /dev/null: these tests assert *codes*, the messages are for humans.
+struct cli_result {
+  int code = -1;
+  std::string out;
+};
+
+cli_result run_cli(const std::string& args) {
+  const std::string command =
+      std::string(PP_POPSIM_CLI) + " " + args + " 2>/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  cli_result r;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.out.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  r.code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
+  // Every row is an invalid invocation; a zero exit on any of them would
+  // break the CI steps that chain the binary with `&&` and `diff`.
+  const char* invalid[] = {
+      "",                                        // no arguments
+      "clique",                                  // missing n and protocol
+      "badfamily 100 fast",                      // unknown family
+      "clique 100 badproto",                     // unknown protocol
+      "clique 1 fast",                           // n below 2
+      "clique 10x fast",                         // trailing garbage in n
+      "clique 100 fast --bogus",                 // unknown flag
+      "clique 100 fast --trials",                // flag missing its value
+      "clique 100 fast --trials 0",              // out-of-range trials
+      "clique 100 fast --trials 1e3",            // non-integer trials
+      "clique 100 fast --seed -1",               // negative seed
+      "clique 100 fast --engine warp",           // unknown engine
+      "clique 100 fast --order sideways",        // unknown order
+      "clique 100 fast --pack 12",               // unsupported width
+      "clique 100 fast --jobs 0",                // out-of-range jobs
+      "clique 100 fast --jobs 257",              // out-of-range jobs
+      "clique 100 id --jobs 2",                  // fleet needs the engine
+      "clique 100 id --save-artifact /tmp/x",    // artifacts need the engine
+      "cycle 100 fast --engine wellmixed",       // wellmixed needs clique
+      "clique 100 six --engine wellmixed --order rcm",  // tuning vs multiset
+      "clique 100 fast --load-artifact /nonexistent",   // load + positionals
+      "--load-artifact /nonexistent/artifact.ppaf",     // unreadable artifact
+      "--trials 5",                              // flag mode without artifact
+      "--load-artifact /dev/null",               // not a PPAF file
+      "--worker",                                // missing manifest + index
+      "--worker /nonexistent/manifest 0",        // unreadable manifest
+      "--worker /dev/null 0",                    // not a manifest
+  };
+  for (const char* args : invalid) {
+    const cli_result r = run_cli(args);
+    EXPECT_GT(r.code, 0) << "popsim " << args
+                         << " should exit nonzero but exited " << r.code;
+  }
+}
+
+TEST(CliExitCodes, ValidRunExitsZero) {
+  const cli_result r = run_cli("cycle 64 six --trials 2 --seed 3");
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("stabilized"), std::string::npos);
+}
+
+// The CLI half of the fleet-determinism gate: a --jobs sweep over a saved
+// artifact prints exactly the serial stdout (worker chatter goes to stderr).
+TEST(CliFleet, ArtifactSweepStdoutIsIdenticalSerialVsJobs) {
+  const std::string dir = testing::TempDir();
+  const std::string artifact = dir + "/cli_fleet.ppaf";
+  const std::string resaved = dir + "/cli_fleet_resaved.ppaf";
+
+  const cli_result saved =
+      run_cli("cycle 400 fast --trials 8 --seed 5 --save-artifact " + artifact);
+  ASSERT_EQ(saved.code, 0);
+
+  const std::string sweep_args = "--load-artifact " + artifact + " --trials 8 --seed 5";
+  const cli_result serial = run_cli(sweep_args);
+  const cli_result fleet = run_cli(sweep_args + " --jobs 3");
+  ASSERT_EQ(serial.code, 0);
+  ASSERT_EQ(fleet.code, 0);
+  EXPECT_EQ(serial.out, fleet.out);
+  // The artifact-driven serial sweep also reproduces the classic run.
+  EXPECT_EQ(saved.out, serial.out);
+
+  // Round trip: load → re-save must be byte-identical (cmp in CI).
+  const cli_result resave = run_cli("--load-artifact " + artifact +
+                                    " --trials 1 --save-artifact " + resaved);
+  ASSERT_EQ(resave.code, 0);
+  std::FILE* a = std::fopen(artifact.c_str(), "rb");
+  std::FILE* b = std::fopen(resaved.c_str(), "rb");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::string bytes_a, bytes_b;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), a)) > 0) bytes_a.append(buf.data(), got);
+  while ((got = fread(buf.data(), 1, buf.size(), b)) > 0) bytes_b.append(buf.data(), got);
+  std::fclose(a);
+  std::fclose(b);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(artifact.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(CliFleet, WellmixedArtifactSweepIsDeterministic) {
+  const std::string artifact = testing::TempDir() + "/cli_wm.ppaf";
+  const cli_result saved = run_cli(
+      "clique 3000 fast --engine wellmixed --trials 6 --seed 9 --save-artifact " +
+      artifact);
+  ASSERT_EQ(saved.code, 0);
+  const std::string sweep_args = "--load-artifact " + artifact + " --trials 6 --seed 9";
+  const cli_result serial = run_cli(sweep_args);
+  const cli_result fleet = run_cli(sweep_args + " --jobs 4");
+  ASSERT_EQ(serial.code, 0);
+  ASSERT_EQ(fleet.code, 0);
+  EXPECT_EQ(serial.out, fleet.out);
+  EXPECT_EQ(saved.out, serial.out);
+  std::remove(artifact.c_str());
+}
+
+#else
+
+TEST(CliExitCodes, SkippedWithoutExamples) {
+  GTEST_SKIP() << "example_popsim_cli not built (PP_BUILD_EXAMPLES=OFF)";
+}
+
+#endif  // PP_POPSIM_CLI
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Fleet sweep driver (src/fleet/sweep.h): seed-partition determinism —
+// a fleet sweep's merged results are byte-identical to the serial sweep —
+// plus the record/manifest protocol and worker-failure propagation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "core/fast_election.h"
+#include "dynamics/epidemic.h"
+#include "fleet/artifact.h"
+#include "fleet/sweep.h"
+#include "graph/generators.h"
+
+namespace pp::fleet {
+namespace {
+
+void expect_same_summary(const election_summary& a, const election_summary& b) {
+  EXPECT_EQ(a.stabilized_fraction, b.stabilized_fraction);
+  EXPECT_EQ(a.max_states_used, b.max_states_used);
+  EXPECT_EQ(a.steps.count, b.steps.count);
+  EXPECT_EQ(a.steps.mean, b.steps.mean);
+  EXPECT_EQ(a.steps.stddev, b.steps.stddev);
+  EXPECT_EQ(a.steps.median, b.steps.median);
+  EXPECT_EQ(a.steps.q10, b.steps.q10);
+  EXPECT_EQ(a.steps.q90, b.steps.q90);
+  EXPECT_EQ(a.steps.min, b.steps.min);
+  EXPECT_EQ(a.steps.max, b.steps.max);
+}
+
+TEST(WorkerRange, PartitionsTrialsContiguouslyAndCompletely) {
+  for (const std::uint64_t trials : {0ull, 1ull, 7ull, 24ull, 100ull}) {
+    for (const int jobs : {1, 2, 3, 4, 7, 13}) {
+      std::uint64_t expected_base = 0;
+      for (int w = 0; w < jobs; ++w) {
+        const trial_range r = worker_range(trials, jobs, w);
+        EXPECT_EQ(r.base, expected_base) << trials << " trials, worker " << w;
+        expected_base += r.count;
+        // Blocks differ in size by at most one trial.
+        EXPECT_LE(r.count, trials / jobs + 1);
+      }
+      EXPECT_EQ(expected_base, trials);  // disjoint cover of [0, trials)
+    }
+  }
+  EXPECT_THROW(worker_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(worker_range(10, 4, 4), std::invalid_argument);
+  EXPECT_THROW(worker_range(10, 4, -1), std::invalid_argument);
+}
+
+TEST(Records, RoundTripThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  trial_record out;
+  out.trial = 42;
+  out.result.stabilized = true;
+  out.result.steps = 123456789;
+  out.result.leader = 7;
+  out.result.distinct_states_used = 99;
+  write_trial_record(fds[1], out);
+  trial_record empty;
+  empty.trial = 3;
+  empty.result = {};
+  write_trial_record(fds[1], empty);
+  close(fds[1]);
+
+  trial_record in;
+  ASSERT_TRUE(read_trial_record(fds[0], in));
+  EXPECT_EQ(in.trial, out.trial);
+  EXPECT_EQ(in.result.stabilized, out.result.stabilized);
+  EXPECT_EQ(in.result.steps, out.result.steps);
+  EXPECT_EQ(in.result.leader, out.result.leader);
+  EXPECT_EQ(in.result.distinct_states_used, out.result.distinct_states_used);
+  ASSERT_TRUE(read_trial_record(fds[0], in));
+  EXPECT_EQ(in.trial, 3u);
+  EXPECT_FALSE(in.result.stabilized);
+  EXPECT_FALSE(read_trial_record(fds[0], in));  // clean EOF
+  close(fds[0]);
+}
+
+TEST(Records, TornRecordIsRejected) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::uint32_t length = 29;
+  ASSERT_EQ(write(fds[1], &length, sizeof(length)),
+            static_cast<ssize_t>(sizeof(length)));
+  const std::uint8_t half[10] = {};
+  ASSERT_EQ(write(fds[1], half, sizeof(half)),
+            static_cast<ssize_t>(sizeof(half)));
+  close(fds[1]);
+  trial_record r;
+  EXPECT_THROW(read_trial_record(fds[0], r), std::logic_error);
+  close(fds[0]);
+}
+
+// The core determinism contract on the per-interaction tuned engine: for
+// every worker count, fleet results == serial results, trial for trial.
+TEST(FleetRun, TunedSweepIsByteIdenticalToSerial) {
+  const graph g = make_cycle(300);
+  const fast_protocol proto(fast_params::practical(
+      g, estimate_worst_case_broadcast_time(g, 5, 3, rng(3)).value));
+  const tuned_runner<fast_protocol> runner(proto, g);
+  const int trials = 17;  // not a multiple of any job count: ragged blocks
+
+  const auto serial =
+      measure_election_tuned(runner, trials, rng(7).fork(2));
+  for (const int jobs : {2, 3, 4}) {
+    const auto fleet =
+        measure_election_fleet(runner, trials, rng(7).fork(2), {}, jobs);
+    expect_same_summary(fleet, serial);
+  }
+}
+
+// Per-trial (not just summary-level) equality, including leaders.
+TEST(FleetRun, MergesPerTrialResultsByIndex) {
+  const graph g = make_cycle(200);
+  const fast_protocol proto(fast_params::practical(
+      g, estimate_worst_case_broadcast_time(g, 5, 3, rng(3)).value));
+  const tuned_runner<fast_protocol> runner(proto, g);
+  const rng seed_gen = rng(11).fork(2);
+  const trial_fn fn = [&](std::uint64_t, rng gen) { return runner.run(gen); };
+
+  const auto serial = fleet_run(12, seed_gen, fn, 1);
+  const auto fleet = fleet_run(12, seed_gen, fn, 5);
+  ASSERT_EQ(serial.size(), fleet.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    EXPECT_EQ(serial[t].steps, fleet[t].steps) << "trial " << t;
+    EXPECT_EQ(serial[t].leader, fleet[t].leader) << "trial " << t;
+    EXPECT_EQ(serial[t].stabilized, fleet[t].stabilized) << "trial " << t;
+  }
+}
+
+// Well-mixed engine: deterministic per (seed, batch), so the fleet merge is
+// byte-identical too — which subsumes the 3σ statistical agreement the
+// acceptance contract asks for.
+TEST(FleetRun, WellmixedSweepIsByteIdenticalToSerial) {
+  const std::uint64_t n = 4000;
+  const fast_protocol proto(fast_params::practical_clique(n));
+  const int trials = 10;
+
+  const auto serial =
+      measure_election_wellmixed(proto, n, trials, rng(5).fork(2));
+  const auto fleet =
+      measure_election_fleet_wellmixed(proto, n, trials, rng(5).fork(2), {}, 4);
+  expect_same_summary(fleet, serial);
+
+  // The 3σ gate of the acceptance criteria, kept explicit in case the
+  // byte-identity above is ever intentionally relaxed.
+  const double se = serial.steps.stddev / std::sqrt(static_cast<double>(trials));
+  EXPECT_LE(std::fabs(fleet.steps.mean - serial.steps.mean),
+            3.0 * std::max(se, 1e-9));
+}
+
+TEST(FleetRun, WorkerFailurePropagates) {
+  const trial_fn fn = [](std::uint64_t t, rng) -> election_result {
+    if (t >= 2) throw std::runtime_error("injected trial failure");
+    return {};
+  };
+  EXPECT_THROW(fleet_run(4, rng(1), fn, 2), std::logic_error);
+}
+
+TEST(FleetRun, MoreJobsThanTrialsIsCapped) {
+  const trial_fn fn = [](std::uint64_t t, rng) {
+    election_result r;
+    r.stabilized = true;
+    r.steps = t;
+    return r;
+  };
+  const auto results = fleet_run(3, rng(1), fn, 8);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::uint64_t t = 0; t < 3; ++t) EXPECT_EQ(results[t].steps, t);
+}
+
+TEST(Manifest, RoundTripsThroughDisk) {
+  worker_manifest m;
+  m.artifact_path = "/tmp/some artifact.ppaf";
+  m.seed = 0xdeadbeefcafeull;
+  m.trials = 48;
+  m.jobs = 4;
+  m.max_steps = 123456789;
+  m.wellmixed_batch = 77;
+  const std::string path = testing::TempDir() + "/fleet_manifest.txt";
+  write_manifest(m, path);
+  const worker_manifest r = read_manifest(path);
+  EXPECT_EQ(r.artifact_path, m.artifact_path);
+  EXPECT_EQ(r.seed, m.seed);
+  EXPECT_EQ(r.trials, m.trials);
+  EXPECT_EQ(r.jobs, m.jobs);
+  EXPECT_EQ(r.max_steps, m.max_steps);
+  EXPECT_EQ(r.wellmixed_batch, m.wellmixed_batch);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(read_manifest("/nonexistent/fleet/manifest"), std::invalid_argument);
+  // A non-manifest file is rejected, not misparsed.
+  const std::string junk = testing::TempDir() + "/fleet_junk.txt";
+  std::FILE* f = std::fopen(junk.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a manifest\n", f);
+  std::fclose(f);
+  EXPECT_THROW(read_manifest(junk), std::invalid_argument);
+  std::remove(junk.c_str());
+}
+
+TEST(Manifest, OutOfRangeValuesAreRejectedNotWrapped) {
+  // Manifests are hand-editable: trials=-1 must not strtoull-wrap to a
+  // 2^64-trial worker loop, and trials past the CLI bound is rejected too.
+  for (const char* bad : {"trials=-1", "trials=0", "trials=1000001",
+                          "seed=-5", "jobs=-2"}) {
+    const std::string path = testing::TempDir() + "/fleet_bad_manifest.txt";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "ppfleet-manifest v1\nartifact=/tmp/x.ppaf\n%s\n", bad);
+    std::fclose(f);
+    EXPECT_THROW(read_manifest(path), std::invalid_argument) << bad;
+    std::remove(path.c_str());
+  }
+}
+
+#ifdef PP_POPSIM_CLI
+
+// End-to-end exec-mode sweep: save a real artifact, write a manifest, spawn
+// `popsim --worker` subprocesses, and compare the merged records to the
+// serial sweep — the same protocol CI's fleet-determinism step drives
+// through the CLI.
+TEST(SpawnWorkers, CliWorkersMatchSerialSweep) {
+  const graph g = make_cycle(300);
+  const fast_protocol proto(fast_params::practical(
+      g, estimate_worst_case_broadcast_time(g, 5, 3, rng(3)).value));
+  const tuned_runner<fast_protocol> runner(proto, g);
+
+  const std::string artifact_path = testing::TempDir() + "/fleet_sweep.ppaf";
+  save_artifact(make_tuned_artifact(runner, g, "cycle", fast_desc(proto.params())),
+                artifact_path);
+
+  worker_manifest m;
+  m.artifact_path = artifact_path;
+  m.seed = 21;
+  m.trials = 14;
+  m.jobs = 3;
+  const std::string manifest_path = testing::TempDir() + "/fleet_sweep.manifest";
+  write_manifest(m, manifest_path);
+
+  const auto fleet = spawn_worker_sweep(PP_POPSIM_CLI, manifest_path, m);
+  const auto serial = fleet_run(
+      m.trials, rng(m.seed).fork(2),
+      [&](std::uint64_t, rng gen) { return runner.run(gen); }, 1);
+  ASSERT_EQ(fleet.size(), serial.size());
+  for (std::size_t t = 0; t < serial.size(); ++t) {
+    EXPECT_EQ(serial[t].steps, fleet[t].steps) << "trial " << t;
+    EXPECT_EQ(serial[t].leader, fleet[t].leader) << "trial " << t;
+    EXPECT_EQ(serial[t].stabilized, fleet[t].stabilized) << "trial " << t;
+  }
+  std::remove(artifact_path.c_str());
+  std::remove(manifest_path.c_str());
+}
+
+TEST(SpawnWorkers, MissingWorkerBinaryFailsLoudly) {
+  worker_manifest m;
+  m.artifact_path = "/nonexistent.ppaf";
+  m.trials = 2;
+  m.jobs = 1;
+  EXPECT_THROW(spawn_worker_sweep("/nonexistent/popsim", "/nonexistent/manifest", m),
+               std::logic_error);
+}
+
+#endif  // PP_POPSIM_CLI
+
+}  // namespace
+}  // namespace pp::fleet

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Schema gate for the BENCH_*.json artefacts CI uploads.
+
+Every bench artefact must be valid strict JSON (no NaN/Infinity anywhere —
+a bench that emits them is reporting garbage), be a top-level object with a
+non-empty "bench" name, and carry at least one non-empty array of result
+rows whose entries are objects.  Per-bench required keys pin the fields the
+dashboards and acceptance gates read, so a refactor that drops one fails in
+CI instead of silently uploading an empty artefact.
+
+Usage: check_bench_json.py FILE [FILE...]   (exits nonzero on any violation)
+"""
+
+import json
+import math
+import sys
+
+# Keys the downstream consumers of each known bench rely on.  An unknown
+# bench name only has to satisfy the generic schema.
+REQUIRED_KEYS = {
+    "engine": ["results"],
+    "locality": ["equivalence", "matrix", "equivalence_pass", "locality_pass"],
+    "wellmixed": ["agreement", "rates", "agreement_pass", "scale_pass"],
+    "fleet": ["results", "determinism_pass", "scaling_pass", "w2_speedup_tuned"],
+}
+
+
+def reject_nonfinite(value, path):
+    """json.load with parse_constant catches literal NaN/Infinity tokens;
+    this sweep also catches non-finite floats arriving any other way."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(f"non-finite number at {path}")
+    if isinstance(value, dict):
+        for key, item in value.items():
+            reject_nonfinite(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            reject_nonfinite(item, f"{path}[{index}]")
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(
+                handle,
+                parse_constant=lambda token: (_ for _ in ()).throw(
+                    ValueError(f"non-finite constant {token!r}")
+                ),
+            )
+        except ValueError as error:
+            return [f"invalid JSON: {error}"]
+
+    errors = []
+    try:
+        reject_nonfinite(doc, "$")
+    except ValueError as error:
+        errors.append(str(error))
+
+    if not isinstance(doc, dict):
+        return errors + ["top level must be an object"]
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        errors.append('missing or empty "bench" name')
+
+    arrays = {k: v for k, v in doc.items() if isinstance(v, list)}
+    rows = [row for v in arrays.values() for row in v]
+    if not arrays or not rows:
+        errors.append("no non-empty result array")
+    for key, value in arrays.items():
+        for index, row in enumerate(value):
+            if not isinstance(row, dict):
+                errors.append(f'"{key}"[{index}] is not an object')
+                break
+
+    for key in REQUIRED_KEYS.get(bench, []):
+        if key not in doc:
+            errors.append(f'bench "{bench}" is missing required key "{key}"')
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
