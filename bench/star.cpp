@@ -1,0 +1,370 @@
+// E18 — edge-census engine: O(1) star elections at scale (src/engine/edgecensus/).
+//
+// Table 1's constant-state star protocol stabilizes after a *single*
+// interaction, so the cost of a star election is entirely setup + stability
+// detection — exactly what the edge-census engine compiles away: the
+// reference simulator walks every edge to seed its undecided-edge tracker
+// per trial, while tuned_runner precomputes the initial class census once
+// and each trial's setup collapses to a few memcpys.
+//
+// Three sections pin the PR's claims:
+//
+//   1. Equivalence gate (every scale): star × {star, cycle, grid, ER} where
+//      the lazy u32 and u8/u16/u32 packed paths must reproduce the reference
+//      simulator's seeded results *bit-identically* — same steps, leader,
+//      stabilization and state census, i.e. stability declared on the same
+//      scheduler step as star_protocol::tracker_type.
+//
+//   2. Star elections (the acceptance gate): full elections/sec on star
+//      graphs at n = 10⁵ (10⁶ at scale ≥ 1, 10⁷ at scale ≥ 2), engine vs
+//      reference.  The ≥ 5× gate is enforced at n = 10⁵ at every scale (the
+//      cells are cheap — each election is one interaction).
+//
+//   3. Sustained step rate (informational): max_steps-bounded star-protocol
+//      runs on cycle and random 8-regular graphs, where multi-leader
+//      deadlocks keep the run alive — the regime that exercises the O(deg)
+//      class-flip walks up front and the zero-delta fast path afterwards.
+//
+// Emits BENCH_star.json next to the tables.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+#include "core/simulator.h"
+#include "core/star_protocol.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+
+namespace pp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section 1: seeded bit-identity across families.
+
+struct eq_cell {
+  std::string family;
+  node_id n = 0;
+  std::uint64_t steps = 0;
+  bool equal = false;  // lazy u32 and packed u8/u16/u32 all match reference
+};
+
+eq_cell run_equivalence(const std::string& family, const graph& g,
+                        std::uint64_t seed) {
+  const star_protocol proto;
+  eq_cell c;
+  c.family = family;
+  c.n = g.num_nodes();
+  const sim_options options{.max_steps = 20000, .state_census = true};
+  const auto ref = run_until_stable(proto, g, rng(seed), options);
+  c.steps = ref.steps;
+  const auto match = [&](const election_result& r) {
+    return r.stabilized == ref.stabilized && r.steps == ref.steps &&
+           r.leader == ref.leader &&
+           r.distinct_states_used == ref.distinct_states_used;
+  };
+  c.equal = match(run_until_stable_fast(proto, g, rng(seed), options));
+  for (const int bits : {8, 16, 32}) {
+    const tuned_runner<star_protocol> runner(proto, g,
+                                             {vertex_order::natural, bits});
+    c.equal = c.equal && match(runner.run(rng(seed), options));
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: full star-graph elections per second.
+
+struct rate {
+  double per_sec = 0;
+  std::uint64_t trials = 0;
+};
+
+// Times run(t) for increasing t until both floors are met; the per-election
+// rate divides out the trial count, so reference and engine can use
+// different trial budgets.
+template <typename RunFn>
+rate time_elections(RunFn&& run, double min_seconds, std::uint64_t min_trials) {
+  bench::stopwatch clock;
+  std::uint64_t t = 0;
+  double elapsed = 0;
+  while (t < min_trials || elapsed < min_seconds) {
+    run(t);
+    ++t;
+    elapsed = clock.seconds();
+    if (t >= 200000) break;  // hard cap: keep degenerate hosts bounded
+  }
+  return {static_cast<double>(t) / elapsed, t};
+}
+
+struct star_cell {
+  node_id n = 0;
+  double ref_per_sec = 0;
+  std::uint64_t ref_trials = 0;
+  double engine_per_sec = 0;
+  std::uint64_t engine_trials = 0;
+  double speedup() const {
+    return ref_per_sec > 0 ? engine_per_sec / ref_per_sec : 0;
+  }
+};
+
+star_cell star_elections(node_id n, std::uint64_t seed) {
+  const star_protocol proto;
+  const graph g = make_star(n);
+  star_cell c;
+  c.n = n;
+
+  rng ref_seed(seed);
+  const auto ref = time_elections(
+      [&](std::uint64_t t) {
+        const auto r = run_until_stable(proto, g, ref_seed.fork(t));
+        if (!r.stabilized || r.steps != 1) std::abort();  // Table 1 broken
+      },
+      0.25, 20);
+  c.ref_per_sec = ref.per_sec;
+  c.ref_trials = ref.trials;
+
+  const tuned_runner<star_protocol> runner(proto, g);  // untimed, shared setup
+  rng eng_seed(seed);
+  const auto engine = time_elections(
+      [&](std::uint64_t t) {
+        const auto r = runner.run(eng_seed.fork(t));
+        if (!r.stabilized || r.steps != 1) std::abort();
+      },
+      0.25, 20);
+  c.engine_per_sec = engine.per_sec;
+  c.engine_trials = engine.trials;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: sustained step rates on non-stabilizing sparse workloads.
+
+struct sustained_cell {
+  std::string family;
+  std::string layout;  // "reference" / "natural/uW" / "rcm/uW"
+  node_id n = 0;
+  std::int64_t m = 0;
+  std::uint64_t steps = 0;
+  double seconds = 0;
+  double sps() const { return seconds > 0 ? static_cast<double>(steps) / seconds : 0; }
+};
+
+graph make_sustained_family(const std::string& family, node_id n, rng& gen) {
+  if (family == "cycle") return make_cycle(n);
+  // Random 8-regular: the expander-shaped sparse workload (generation is
+  // O(n·d); sparse Erdős–Rényi at this n is both disconnection-prone and
+  // quadratic to decode, so the regular family stands in for it).
+  return make_random_regular(n, 8, gen);
+}
+
+sustained_cell reference_cell(const std::string& family, const graph& g,
+                              std::uint64_t budget, std::uint64_t seed) {
+  const star_protocol proto;
+  sustained_cell c;
+  c.family = family;
+  c.layout = "reference";
+  c.n = g.num_nodes();
+  c.m = g.num_edges();
+  run_until_stable(proto, g, rng(seed), {.max_steps = budget / 8});
+  bench::stopwatch clock;
+  const auto r = run_until_stable(proto, g, rng(seed + 1), {.max_steps = budget});
+  c.seconds = clock.seconds();
+  c.steps = r.steps;
+  return c;
+}
+
+sustained_cell engine_cell(const std::string& family, const graph& g,
+                           vertex_order order, std::uint64_t budget,
+                           std::uint64_t seed) {
+  const star_protocol proto;
+  sustained_cell c;
+  c.family = family;
+  c.n = g.num_nodes();
+  c.m = g.num_edges();
+  const tuned_runner<star_protocol> runner(proto, g, {order, 0});
+  c.layout = std::string(to_string(order)) + "/u" + std::to_string(runner.pack_bits());
+  runner.run(rng(seed), {.max_steps = budget / 8});
+  bench::stopwatch clock;
+  const auto r = runner.run(rng(seed + 1), {.max_steps = budget});
+  c.seconds = clock.seconds();
+  c.steps = r.steps;
+  return c;
+}
+
+bool run() {
+  bench::banner(
+      "E18", "edge-census engine: O(1) star elections at scale (Table 1, last row)",
+      "star_protocol compiled onto the packed engine: per-edge stability\n"
+      "predicates (undecided-undecided edge counters, O(deg) incremental\n"
+      "maintenance) vs the reference simulator's per-trial tracker rebuild.");
+
+  const double scale = bench_scale();
+
+  // ---- 1. equivalence gate ----
+  std::vector<eq_cell> equivalence;
+  {
+    rng gen(7);
+    equivalence.push_back(run_equivalence("star", make_star(512), 1800));
+    equivalence.push_back(run_equivalence("cycle", make_cycle(512), 1801));
+    equivalence.push_back(run_equivalence("grid", make_grid_2d(23, 23, false), 1802));
+    equivalence.push_back(run_equivalence(
+        "erdos-renyi", make_connected_erdos_renyi(400, 0.02, gen), 1803));
+  }
+  text_table eq_table({"family", "n", "steps", "eq(ref,u8,u16,u32)"});
+  bool equivalence_ok = true;
+  for (const auto& c : equivalence) {
+    equivalence_ok = equivalence_ok && c.equal;
+    eq_table.add_row({c.family, format_number(c.n),
+                      format_number(static_cast<double>(c.steps)),
+                      c.equal ? "yes" : "NO"});
+  }
+  bench::print_table(eq_table);
+
+  // ---- 2. star elections per second ----
+  std::vector<node_id> star_sizes{100'000};
+  if (scale >= 1.0) star_sizes.push_back(1'000'000);
+  if (scale >= 2.0) star_sizes.push_back(10'000'000);
+
+  std::vector<star_cell> star_cells;
+  for (const node_id n : star_sizes) {
+    star_cells.push_back(star_elections(n, 2000 + static_cast<std::uint64_t>(n)));
+  }
+  // The acceptance cell; a single retry absorbs scheduler noise on shared
+  // runners (the structural margin is large, see the table).
+  if (!star_cells.empty() && star_cells.front().speedup() < 5.0) {
+    star_cells.front() = star_elections(star_sizes.front(), 2999);
+  }
+
+  text_table star_table(
+      {"n", "ref elections/s", "engine elections/s", "speedup"});
+  for (const auto& c : star_cells) {
+    star_table.add_row({format_number(c.n), format_number(c.ref_per_sec, 3),
+                        format_number(c.engine_per_sec, 3),
+                        format_number(c.speedup(), 3)});
+  }
+  bench::print_table(star_table);
+
+  const double star_speedup = star_cells.front().speedup();
+  const bool speedup_ok = star_speedup >= 5.0;
+  std::printf(
+      "acceptance: engine/reference election rate on the star at n = 1e5 is "
+      "%.2fx (>= 5x enforced): %s\n\n",
+      star_speedup, speedup_ok ? "PASS" : "FAIL");
+
+  // ---- 3. sustained step rate ----
+  const node_id n_sustained =
+      scale >= 1.0 ? 1'000'000 : std::max(20'000, bench::scaled(1'000'000));
+  const auto budget = static_cast<std::uint64_t>(bench::scaled(100'000'000));
+  const std::uint64_t ref_budget = std::max<std::uint64_t>(budget / 10, 1'000'000);
+
+  std::vector<sustained_cell> sustained;
+  std::uint64_t seed = 3000;
+  std::vector<std::pair<std::string, node_id>> sustained_rows{
+      {"cycle", n_sustained}, {"rr8", n_sustained}};
+  if (scale >= 2.0) sustained_rows.push_back({"cycle", 10'000'000});
+  for (const auto& [family, n] : sustained_rows) {
+    rng gen(seed);
+    const graph g = make_sustained_family(family, n, gen);
+    sustained.push_back(reference_cell(family, g, ref_budget, seed));
+    seed += 2;
+    sustained.push_back(engine_cell(family, g, vertex_order::natural, budget, seed));
+    seed += 2;
+    sustained.push_back(engine_cell(family, g, vertex_order::rcm, budget, seed));
+    seed += 2;
+  }
+
+  text_table su_table({"family", "n", "layout", "steps", "steps/s", "vs ref"});
+  const auto ref_sps = [&](const sustained_cell& c) {
+    for (const auto& r : sustained) {
+      if (r.layout == "reference" && r.family == c.family && r.n == c.n) {
+        return r.sps();
+      }
+    }
+    return 0.0;
+  };
+  for (const auto& c : sustained) {
+    const double base = ref_sps(c);
+    su_table.add_row({c.family, format_number(c.n), c.layout,
+                      format_number(static_cast<double>(c.steps)),
+                      format_number(c.sps(), 3),
+                      c.layout == "reference" || base <= 0
+                          ? "-"
+                          : format_number(c.sps() / base, 3)});
+  }
+  bench::print_table(su_table);
+
+  // ---- JSON ----
+  bench::json_writer json;
+  json.begin_object();
+  json.key("bench").value("star");
+  json.key("scale").value(scale);
+  json.key("equivalence").begin_array();
+  for (const auto& c : equivalence) {
+    json.begin_object();
+    json.key("family").value(c.family);
+    json.key("n").value(static_cast<std::int64_t>(c.n));
+    json.key("steps").value(c.steps);
+    json.key("equal").value(c.equal);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("star_elections").begin_array();
+  for (const auto& c : star_cells) {
+    json.begin_object();
+    json.key("n").value(static_cast<std::int64_t>(c.n));
+    json.key("ref_elections_per_sec").value(c.ref_per_sec);
+    json.key("ref_trials").value(c.ref_trials);
+    json.key("engine_elections_per_sec").value(c.engine_per_sec);
+    json.key("engine_trials").value(c.engine_trials);
+    json.key("speedup").value(c.speedup());
+    json.end_object();
+  }
+  json.end_array();
+  json.key("sustained").begin_array();
+  for (const auto& c : sustained) {
+    json.begin_object();
+    json.key("family").value(c.family);
+    json.key("n").value(static_cast<std::int64_t>(c.n));
+    json.key("m").value(c.m);
+    json.key("layout").value(c.layout);
+    json.key("steps").value(c.steps);
+    json.key("seconds").value(c.seconds);
+    json.key("steps_per_sec").value(c.sps());
+    const double base = ref_sps(c);
+    json.key("speedup_vs_reference").value(base > 0 ? c.sps() / base : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("star_speedup").value(star_speedup);
+  json.key("equivalence_pass").value(equivalence_ok);
+  json.key("speedup_pass").value(speedup_ok);
+  json.end_object();
+  json.write_file("BENCH_star.json");
+
+  std::printf(
+      "Reading: the equivalence rows gate step-identical stability detection\n"
+      "(engine vs reference tracker); star elections are setup-bound (one\n"
+      "interaction each), so the speedup is the edge-census engine's shared\n"
+      "warm start vs the reference's per-trial O(n + m) tracker rebuild.\n"
+      "Wrote BENCH_star.json.\n");
+
+  if (!equivalence_ok) {
+    std::fprintf(stderr,
+                 "FAIL: an engine path broke bit-identity with the reference "
+                 "simulator (eq = NO above).\n");
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: the engine did not reach 5x the reference election "
+                 "rate on the n = 1e5 star.\n");
+  }
+  return equivalence_ok && speedup_ok;
+}
+
+}  // namespace
+}  // namespace pp
+
+int main() { return pp::run() ? 0 : 1; }

@@ -17,13 +17,14 @@
 //             protocol; wellmixed runs the O(|Λ|)-memory multiset batch
 //             engine (clique family + fast/six protocols only), which never
 //             materialises the graph and reaches n = 10⁸
-//   --order   vertex order for the compiled engine (protocol fast): natural
-//             keeps per-seed reproducibility with the reference simulator;
-//             bfs/rcm relabel the graph for cache locality (statistically
-//             equivalent, different seeded trajectories)
-//   --pack    config word width for the compiled engine (protocol fast):
-//             auto picks the narrowest width holding |Λ|; 8/16/32 force one
-//             and fail loudly if the state space does not fit
+//   --order   vertex order for the compiled engine (protocols fast and
+//             star): natural keeps per-seed reproducibility with the
+//             reference simulator; bfs/rcm relabel the graph for cache
+//             locality (statistically equivalent, different seeded
+//             trajectories)
+//   --pack    config word width for the compiled engine (protocols fast and
+//             star): auto picks the narrowest width holding |Λ|; 8/16/32
+//             force one and fail loudly if the state space does not fit
 //   --jobs    shard the trials across W worker processes (fleet sweep,
 //             src/fleet/).  Trial t keeps its serial seed, records are
 //             merged by trial index, so the printed summary is identical to
@@ -80,11 +81,11 @@ int usage() {
                "  --engine  wellmixed needs family=clique and protocol"
                " fast|six\n"
                "  --order   vertex relabelling for the compiled engine"
-               " (protocol fast only; default natural)\n"
+               " (protocols fast|star; default natural)\n"
                "  --pack    config word width for the compiled engine"
-               " (protocol fast only; default auto)\n"
+               " (protocols fast|star; default auto)\n"
                "  --jobs    worker processes for the sweep (default 1;"
-               " protocol fast or --engine wellmixed)\n"
+               " protocol fast|star or --engine wellmixed)\n"
                "  --save-artifact / --load-artifact  serialize / rebuild the"
                " prepared sweep (src/fleet/)\n");
   return 2;
@@ -291,15 +292,44 @@ int run_wellmixed_mode(const P& proto, std::uint64_t n, const cli_config& cfg,
   return 0;
 }
 
+// The tuned engine's sim_options per protocol kind: the star protocol can
+// deadlock with several leaders on general graphs (the tracker then never
+// fires), so its runs are step-capped; the fast protocol always stabilizes.
+// Shared by the classic, --load-artifact and --worker paths so a sweep's
+// stdout never depends on which of them produced it.
+pp::sim_options tuned_options(pp::fleet::protocol_kind kind) {
+  pp::sim_options options;
+  if (kind == pp::fleet::protocol_kind::star) options.max_steps = 1'000'000;
+  return options;
+}
+
+// Constructs the tuned-engine protocol a descriptor names and invokes fn
+// with it — the single protocol_kind -> type mapping for every artifact
+// consumer (--worker and --load-artifact; the classic path builds its
+// protocols from the positional arguments instead).
+template <typename Fn>
+auto with_artifact_protocol(const pp::fleet::protocol_desc& desc, Fn&& fn) {
+  using pp::fleet::protocol_kind;
+  pp::expects(desc.kind == protocol_kind::fast || desc.kind == protocol_kind::star,
+              "popsim: tuned artifacts carry the fast or star protocol");
+  if (desc.kind == protocol_kind::star) {
+    pp::fleet::expect_star_desc(desc);
+    return fn(pp::star_protocol{});
+  }
+  return fn(pp::fast_protocol(pp::fleet::fast_params_of(desc)));
+}
+
 // Serial-or-fleet tuned-engine sweep + report over a prepared runner; the
-// artifact (when needed) snapshots exactly this runner.
-int run_tuned_mode(const pp::fast_protocol& proto,
-                   const pp::tuned_runner<pp::fast_protocol>& runner,
-                   const pp::graph& g, const cli_config& cfg, const char* argv0,
+// artifact (when needed) snapshots exactly this runner.  P is any
+// compilable protocol the tuned engine serves (fast_protocol, star_protocol).
+template <typename P>
+int run_tuned_mode(const pp::tuned_runner<P>& runner,
+                   const pp::fleet::protocol_desc& desc, const pp::graph& g,
+                   const cli_config& cfg, const char* argv0,
                    const std::string& family, const std::string& loaded_path) {
   pp::rng seed(cfg.seed);
   const int trial_count = static_cast<int>(cfg.trials);
-  const pp::sim_options options;
+  const pp::sim_options options = tuned_options(desc.kind);
   std::printf("graph: %s n=%d m=%lld Δ=%d\n", family.c_str(), g.num_nodes(),
               static_cast<long long>(g.num_edges()), g.max_degree());
   std::printf("engine: order=%s pack=u%d%s\n", pp::to_string(runner.order()),
@@ -309,8 +339,7 @@ int run_tuned_mode(const pp::fast_protocol& proto,
   std::string artifact_path = loaded_path;
   std::optional<temp_file> temp_artifact;
   if (artifact_path.empty() && (cfg.jobs > 1 || !cfg.save_path.empty())) {
-    const auto artifact = pp::fleet::make_tuned_artifact(
-        runner, g, family, pp::fleet::fast_desc(proto.params()));
+    const auto artifact = pp::fleet::make_tuned_artifact(runner, g, family, desc);
     artifact_path = cfg.save_path;
     if (artifact_path.empty()) {
       artifact_path = temp_artifact.emplace("artifact.ppaf").path();
@@ -321,9 +350,9 @@ int run_tuned_mode(const pp::fast_protocol& proto,
   if (cfg.jobs > 1) {
     summary = run_fleet(artifact_path, cfg, argv0, options);
   } else {
-    summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2));
+    summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2), options);
   }
-  const pp::node_id sample_leader = runner.run(seed.fork(3)).leader;
+  const pp::node_id sample_leader = runner.run(seed.fork(3), options).leader;
   print_graph_summary(summary, trial_count, sample_leader);
 
   if (const char* dot = std::getenv("POPSIM_DOT"); dot != nullptr && dot[0] == '1') {
@@ -361,19 +390,17 @@ int worker_main(int argc, char** argv) {
     const int w = static_cast<int>(index);
 
     if (artifact.engine == pp::fleet::artifact_engine::tuned) {
-      pp::expects(artifact.protocol.kind == pp::fleet::protocol_kind::fast,
-                  "popsim --worker: tuned artifacts carry the fast protocol");
       pp::expects(artifact.graph.has_value(),
                   "popsim --worker: tuned artifact without a graph section");
-      const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
       const pp::graph g = pp::fleet::rebuild_graph(*artifact.graph);
-      const pp::tuned_runner<pp::fast_protocol> runner(
-          proto, g, pp::fleet::tuning_of(artifact));
-      pp::fleet::validate_tuned_artifact(artifact, runner);
-      pp::fleet::run_worker_block(
-          manifest, w, STDOUT_FILENO,
-          [&](std::uint64_t, pp::rng gen) { return runner.run(gen, options); },
-          trial_gen);
+      with_artifact_protocol(artifact.protocol, [&]<typename P>(const P& proto) {
+        const pp::tuned_runner<P> runner(proto, g, pp::fleet::tuning_of(artifact));
+        pp::fleet::validate_tuned_artifact(artifact, runner);
+        pp::fleet::run_worker_block(
+            manifest, w, STDOUT_FILENO,
+            [&](std::uint64_t, pp::rng gen) { return runner.run(gen, options); },
+            trial_gen);
+      });
       return 0;
     }
 
@@ -410,17 +437,16 @@ int artifact_main(const cli_config& cfg, const char* argv0) {
     pp::fleet::save_artifact(artifact, cfg.save_path);
   }
   if (artifact.engine == pp::fleet::artifact_engine::tuned) {
-    pp::expects(artifact.protocol.kind == pp::fleet::protocol_kind::fast,
-                "popsim: tuned artifacts carry the fast protocol");
     pp::expects(artifact.graph.has_value(),
                 "popsim: tuned artifact without a graph section");
-    const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
     const pp::graph g = pp::fleet::rebuild_graph(*artifact.graph);
-    const pp::tuned_runner<pp::fast_protocol> runner(
-        proto, g, pp::fleet::tuning_of(artifact));
-    pp::fleet::validate_tuned_artifact(artifact, runner);
-    return run_tuned_mode(proto, runner, g, cfg, argv0, artifact.family,
-                          cfg.load_path);
+    return with_artifact_protocol(
+        artifact.protocol, [&]<typename P>(const P& proto) {
+          const pp::tuned_runner<P> runner(proto, g, pp::fleet::tuning_of(artifact));
+          pp::fleet::validate_tuned_artifact(artifact, runner);
+          return run_tuned_mode(runner, artifact.protocol, g, cfg, argv0,
+                                artifact.family, cfg.load_path);
+        });
   }
   pp::expects(artifact.wellmixed.has_value(),
               "popsim: well-mixed artifact without a multiset section");
@@ -510,16 +536,17 @@ int main(int argc, char** argv) {
 
     // Reject tuning/fleet flags for non-engine protocols before paying for
     // the graph construction (a dense family at large n is expensive).
-    if (cfg.tuning_requested && protocol != "fast") {
+    const bool compiled_engine = protocol == "fast" || protocol == "star";
+    if (cfg.tuning_requested && !compiled_engine) {
       std::fprintf(stderr,
                    "popsim: --order/--pack apply to the compiled engine, i.e. "
-                   "protocol fast\n");
+                   "protocol fast or star\n");
       return usage();
     }
-    if ((cfg.jobs > 1 || !cfg.save_path.empty()) && protocol != "fast") {
+    if ((cfg.jobs > 1 || !cfg.save_path.empty()) && !compiled_engine) {
       std::fprintf(stderr,
                    "popsim: --jobs/--save-artifact need the compiled engine "
-                   "(protocol fast, or --engine wellmixed)\n");
+                   "(protocol fast or star, or --engine wellmixed)\n");
       return usage();
     }
 
@@ -533,24 +560,34 @@ int main(int argc, char** argv) {
     pp::rng make_gen = seed.fork(0);
     const pp::graph g = family->make(n, make_gen);
 
-    if (protocol == "fast") {
-      const double b =
-          pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
-      const pp::fast_protocol proto(pp::fast_params::practical(g, b));
+    if (compiled_engine) {
       // Tuned compiled engine (src/engine/): the runner resolves the data
       // layout (vertex order, config/table word widths) once and shares it
       // across the trials.  Defaults (natural order, auto width) reproduce
-      // the reference simulator's seeded results exactly.
-      std::optional<pp::tuned_runner<pp::fast_protocol>> prepared;
-      try {
-        prepared.emplace(proto, g, cfg.tuning);
-      } catch (const std::invalid_argument& e) {
-        // e.g. --pack 8 when |Λ| > 256, or a forced width on an unclosable
-        // table: report instead of aborting.
-        std::fprintf(stderr, "popsim: %s\n", e.what());
-        return usage();
+      // the reference simulator's seeded results exactly.  The star protocol
+      // runs in the engine's edge-census mode (engine/edgecensus/): its
+      // stability predicate counts undecided-undecided edges, maintained
+      // incrementally alongside the node census.
+      const auto tuned = [&]<typename P>(const P& proto,
+                                         const pp::fleet::protocol_desc& desc) {
+        std::optional<pp::tuned_runner<P>> prepared;
+        try {
+          prepared.emplace(proto, g, cfg.tuning);
+        } catch (const std::invalid_argument& e) {
+          // e.g. --pack 8 when |Λ| > 256, or a forced width on an unclosable
+          // table: report instead of aborting.
+          std::fprintf(stderr, "popsim: %s\n", e.what());
+          return usage();
+        }
+        return run_tuned_mode(*prepared, desc, g, cfg, argv[0], family_name, "");
+      };
+      if (protocol == "star") {
+        return tuned(pp::star_protocol{}, pp::fleet::star_desc());
       }
-      return run_tuned_mode(proto, *prepared, g, cfg, argv[0], family_name, "");
+      const double b =
+          pp::estimate_worst_case_broadcast_time(g, 30, 6, seed.fork(1)).value;
+      const pp::fast_protocol proto(pp::fast_params::practical(g, b));
+      return tuned(proto, pp::fleet::fast_desc(proto.params()));
     }
 
     std::printf("graph: %s n=%d m=%lld Δ=%d\n", family_name.c_str(), g.num_nodes(),
@@ -567,13 +604,6 @@ int main(int argc, char** argv) {
                                                    seed.fork(2), UINT64_MAX);
       sample_leader =
           pp::run_beauquier_event_driven(proto, g, seed.fork(3), UINT64_MAX).leader;
-    } else if (protocol == "star") {
-      const pp::star_protocol proto;
-      summary = pp::measure_election(proto, g, trial_count, seed.fork(2),
-                                     {.max_steps = 1'000'000});
-      const auto r = pp::run_until_stable(proto, g, seed.fork(3),
-                                          {.max_steps = 1'000'000});
-      sample_leader = r.leader;
     } else {
       return usage();
     }

@@ -134,7 +134,7 @@ election_summary measure_election_fleet(const tuned_runner<P>& runner,
 // engine is deterministic per (seed, batch size), so the fleet merge is also
 // byte-identical to the serial sweep — stronger than the engine's 3σ
 // statistical contract against the per-interaction simulators.
-template <compilable_protocol P>
+template <node_census_protocol P>
 election_summary measure_election_fleet_wellmixed(const P& proto, std::uint64_t n,
                                                   int trials, rng seed_gen,
                                                   const sim_options& options = {},
@@ -162,7 +162,7 @@ election_result run_election_tuned(const P& proto, const graph& g, rng gen,
 // Results agree with measure_election / measure_election_fast statistically
 // (bench/wellmixed.cpp pins the 3σ agreement), not per-seed — see
 // engine/wellmixed/README.md for the batching caveat.
-template <compilable_protocol P>
+template <node_census_protocol P>
 election_summary measure_election_wellmixed(const P& proto, std::uint64_t n,
                                             int trials, rng seed_gen,
                                             const sim_options& options = {},

@@ -14,6 +14,9 @@
 // Tracker predicate: exactly one node outputs leader and no edge joins two
 // undecided nodes.  Leaders are never demoted and new leaders require an
 // undecided-undecided interaction, so the predicate is sound on any graph.
+// The compiled engine runs the same predicate as an edge census
+// (edge_census_traits<star_protocol>, engine/edgecensus/census.h), declared
+// on the identical scheduler step.
 #pragma once
 
 #include <cstdint>

@@ -14,9 +14,10 @@
 // contributions would fall back to the wider packing rather than miscompile.
 //
 // id_protocol is deliberately absent (its tracker keeps a hash census over
-// Θ(n⁴) identifiers), as is star_protocol (its predicate counts
-// undecided-undecided *edges*, which depends on node identity, not state
-// counts).  Both stay on the reference simulator.
+// Θ(n⁴) identifiers) and stays on the reference simulator.  star_protocol —
+// whose predicate counts undecided-undecided *edges* — lives in the
+// edge-census mode instead (edge_census_traits<star_protocol> in
+// engine/edgecensus/census.h).
 #pragma once
 
 #include <cstdint>

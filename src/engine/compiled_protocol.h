@@ -49,16 +49,48 @@ namespace pp {
 //                                 tracker's add() exactly, so the compiled
 //                                 predicate fires on the same step);
 //   * stable(t)                 — the tracker's is_stable() over the totals.
-// Protocols whose trackers depend on node identity (e.g. star_protocol's
-// undecided-edge count) cannot be expressed this way and stay on the
-// reference simulator.
 template <typename P>
 struct census_traits;
 
 inline constexpr int kMaxCensusCounters = 4;
 
+// edge_census_traits<P>: the edge-aware generalisation (engine/edgecensus/).
+//
+// Some trackers — star_protocol's "no undecided-undecided edge" — count edge
+// *classes*, which no flat state-count vector can express.  An edge-census
+// specialisation maps every state to one of kClasses small class ids and
+// declares stability as a joint predicate over the node-census totals and
+// the per-unordered-class-pair edge counters:
+//   * kCounters / accumulate    — the node-census mirror, as census_traits;
+//   * kClasses                  — edge classes (<= kMaxEdgeClasses);
+//   * class_of(proto, s)        — class id of state s in [0, kClasses);
+//   * stable(t, pairs)          — is_stable() over the node totals t and the
+//                                 edge counters pairs, where pairs[p] counts
+//                                 the edges whose endpoint classes form the
+//                                 unordered pair with class_pair_index p.
+// The engine maintains the pair counters incrementally (O(deg) per class
+// flip, engine/edgecensus/edgecensus.h); protocols whose trackers need more
+// than state counts plus edge-class counts (id_protocol's hash census) stay
+// on the reference simulator.
 template <typename P>
-concept compilable_protocol =
+struct edge_census_traits;
+
+inline constexpr int kMaxEdgeClasses = 4;
+inline constexpr int kMaxClassPairs = kMaxEdgeClasses * (kMaxEdgeClasses + 1) / 2;
+
+// Index of the unordered class pair {a, b} in the flat edge-counter array:
+// triangular row-major over lo = min(a, b), so (0,0) is 0 and class pairs of
+// a trait with kClasses < kMaxEdgeClasses occupy a stable prefix-independent
+// subset (the indexing never depends on the trait's own class count).
+constexpr int class_pair_index(int a, int b) {
+  const int lo = a < b ? a : b;
+  const int hi = a < b ? b : a;
+  return lo * (2 * kMaxEdgeClasses - lo + 1) / 2 + (hi - lo);
+}
+
+// Counter-shaped protocols: the tracker is a pure predicate on state counts.
+template <typename P>
+concept node_census_protocol =
     population_protocol<P> &&
     requires(const P proto, const typename P::state_type& s, std::int64_t* t) {
       { census_traits<P>::kCounters } -> std::convertible_to<int>;
@@ -66,14 +98,51 @@ concept compilable_protocol =
       { census_traits<P>::stable(t) } -> std::same_as<bool>;
     };
 
+// Edge-census protocols: the tracker additionally counts edge classes.
+template <typename P>
+concept edge_census_protocol =
+    population_protocol<P> &&
+    requires(const P proto, const typename P::state_type& s, std::int64_t* t) {
+      { edge_census_traits<P>::kCounters } -> std::convertible_to<int>;
+      { edge_census_traits<P>::kClasses } -> std::convertible_to<int>;
+      { edge_census_traits<P>::accumulate(proto, s, t, std::int64_t{1}) };
+      { edge_census_traits<P>::class_of(proto, s) } -> std::convertible_to<int>;
+      { edge_census_traits<P>::stable(t, t) } -> std::same_as<bool>;
+    };
+
+// Anything the engine can compile: either census model works — the node
+// counters, contributions and deltas below are resolved through
+// census_model_t, so one compiled_protocol serves both.
+template <typename P>
+concept compilable_protocol = node_census_protocol<P> || edge_census_protocol<P>;
+
+// The trait that supplies P's node counters (kCounters / accumulate): the
+// edge-census trait when P declares one, census_traits otherwise.
+template <typename P>
+using census_model_t =
+    std::conditional_t<edge_census_protocol<P>, edge_census_traits<P>,
+                       census_traits<P>>;
+
+// kClasses of an edge-census protocol, 0 for counter-shaped ones (usable in
+// static_asserts without naming an undefined trait specialisation).
+template <typename P>
+constexpr int edge_classes_of() {
+  if constexpr (edge_census_protocol<P>) {
+    return edge_census_traits<P>::kClasses;
+  } else {
+    return 0;
+  }
+}
+
 template <compilable_protocol P>
 class compiled_protocol {
  public:
   using state_type = typename P::state_type;
   using state_id = std::uint32_t;
   static constexpr state_id kNotCompiled = UINT32_MAX;
-  static constexpr int kCounters = census_traits<P>::kCounters;
+  static constexpr int kCounters = census_model_t<P>::kCounters;
   static_assert(kCounters >= 1 && kCounters <= kMaxCensusCounters);
+  static_assert(edge_classes_of<P>() <= kMaxEdgeClasses);
 
   // One compiled transition.  `a2` doubles as the fill sentinel: a real entry
   // can never map the initiator to kNotCompiled.
@@ -104,6 +173,12 @@ class compiled_protocol {
     states_.push_back(s);
     roles_.push_back(proto_->output(s));
     contrib_.push_back(contribution_of(s));
+    if constexpr (edge_census_protocol<P>) {
+      const int c = edge_census_traits<P>::class_of(*proto_, s);
+      ensure(c >= 0 && c < edge_census_traits<P>::kClasses,
+             "compiled_protocol: edge class out of the trait's declared range");
+      classes_.push_back(static_cast<std::uint8_t>(c));
+    }
     if (states_.size() > cap_) grow();
     return id;
   }
@@ -117,6 +192,15 @@ class compiled_protocol {
   // Per-counter census contribution of one state (mirrors tracker add()).
   const std::array<std::int8_t, kMaxCensusCounters>& contribution(state_id id) const {
     return contrib_[static_cast<std::size_t>(id)];
+  }
+
+  // Edge class of an interned state (edge-census protocols only; mirrors
+  // edge_census_traits<P>::class_of, computed once at intern time so the hot
+  // loop's class lookups are a byte load from a |Λ|-entry table).
+  std::uint8_t state_class(state_id id) const
+    requires edge_census_protocol<P>
+  {
+    return classes_[static_cast<std::size_t>(id)];
   }
 
   // The compiled transition for the ordered pair (a, b), compiling it on
@@ -196,7 +280,7 @@ class compiled_protocol {
  private:
   std::array<std::int8_t, kMaxCensusCounters> contribution_of(const state_type& s) const {
     std::int64_t t[kMaxCensusCounters] = {};
-    census_traits<P>::accumulate(*proto_, s, t, +1);
+    census_model_t<P>::accumulate(*proto_, s, t, +1);
     std::array<std::int8_t, kMaxCensusCounters> c{};
     for (int i = 0; i < kCounters; ++i) c[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(t[i]);
     return c;
@@ -238,6 +322,7 @@ class compiled_protocol {
   std::vector<state_type> states_;
   std::vector<role> roles_;
   std::vector<std::array<std::int8_t, kMaxCensusCounters>> contrib_;
+  std::vector<std::uint8_t> classes_;  // edge-census protocols only
   std::unordered_map<std::uint64_t, state_id> index_;  // encode(s) -> id
   bool closed_ = false;
 };

@@ -1,0 +1,46 @@
+// edge_census_traits specialisations for the library's edge-class-shaped
+// protocols, mirroring their trackers exactly (same counters, same joint
+// predicate) so a compiled run declares stability on precisely the same
+// scheduler step as the reference simulator — the property the
+// engine/reference seeded-equivalence tests pin down (tests/test_edgecensus.cpp).
+//
+// As in engine/census.h, every accumulate() contributes 0 or 1 per counter
+// per state, so census deltas lie in [-2, 2] and the u8 nibble packing
+// applies (re-checked dynamically via deltas_fit_nibble at pack time).
+#pragma once
+
+#include <cstdint>
+
+#include "core/star_protocol.h"
+#include "engine/compiled_protocol.h"
+
+namespace pp {
+
+// Mirrors star_protocol::tracker_type: exactly one leader and zero
+// undecided-undecided edges.  Two classes — undecided (0) and decided (1) —
+// make the tracker's undecided-edge count the (0,0) pair counter; leaders
+// are the single node counter.  Leaders are never demoted and a decided node
+// never becomes undecided, so each node's class flips at most once per run:
+// the O(deg) retag walks total O(m) over a whole election.
+template <>
+struct edge_census_traits<star_protocol> {
+  static constexpr int kCounters = 1;
+  static constexpr int kClasses = 2;
+  static void accumulate(const star_protocol& proto,
+                         const star_protocol::state_type& s, std::int64_t* t,
+                         std::int64_t sign) {
+    if (proto.output(s) == role::leader) t[0] += sign;
+  }
+  static int class_of(const star_protocol&, const star_protocol::state_type& s) {
+    return s == star_protocol::state_type::undecided ? 0 : 1;
+  }
+  static bool stable(const std::int64_t* t, const std::int64_t* pairs) {
+    return t[0] == 1 && pairs[class_pair_index(0, 0)] == 0;
+  }
+};
+
+static_assert(edge_census_protocol<star_protocol>);
+static_assert(compilable_protocol<star_protocol>);
+static_assert(!node_census_protocol<star_protocol>);
+
+}  // namespace pp

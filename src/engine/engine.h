@@ -36,6 +36,7 @@
 // but not per seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -47,6 +48,8 @@
 #include "engine/block_rng.h"
 #include "engine/census.h"
 #include "engine/compiled_protocol.h"
+#include "engine/edgecensus/census.h"
+#include "engine/edgecensus/edgecensus.h"
 #include "graph/graph.h"
 #include "graph/reorder.h"
 #include "sched/scheduler.h"
@@ -90,6 +93,40 @@ node_id elected_leader(const std::vector<W>& config, OutputFn&& output,
   return leader;
 }
 
+// elected_leader through the compiled role table, with a SIMD shortcut: at
+// u8 word width with exactly one leader-role state id the scan is a memchr
+// for that byte — first occurrence == smallest node id with leader output,
+// so the result is identical to the generic loop.  This matters for
+// one-interaction elections (star graphs), where the O(n) epilogue scan,
+// not the run, dominates a trial.
+template <typename W, compilable_protocol P>
+node_id elected_leader_compiled(const std::vector<W>& config,
+                                const compiled_protocol<P>& compiled,
+                                const std::vector<node_id>* old_of_new) {
+  if constexpr (std::is_same_v<W, std::uint8_t>) {
+    if (old_of_new == nullptr) {
+      int leader_states = 0;
+      std::uint8_t leader_id = 0;
+      const auto k = static_cast<std::uint32_t>(compiled.num_states());
+      for (std::uint32_t id = 0; id < k; ++id) {
+        if (compiled.output(id) == role::leader) {
+          ++leader_states;
+          leader_id = static_cast<std::uint8_t>(id);
+        }
+      }
+      if (leader_states == 0) return -1;
+      if (leader_states == 1) {
+        const void* hit = std::memchr(config.data(), leader_id, config.size());
+        if (hit == nullptr) return -1;
+        return static_cast<node_id>(static_cast<const std::uint8_t*>(hit) -
+                                    config.data());
+      }
+    }
+  }
+  return elected_leader(
+      config, [&](W id) { return compiled.output(id); }, old_of_new);
+}
+
 // Runs one election on a prepared compiled table and endpoint arrays.
 // `compiled` fills lazily during the run; if it is closed() the run never
 // mutates it, so a single closed table (and one edge_endpoints) can be shared
@@ -106,7 +143,8 @@ election_result run_compiled(compiled_protocol<P>& compiled,
                              const edge_endpoints& edges, const graph& g,
                              rng gen, const sim_options& options = {},
                              const std::vector<node_id>* old_of_new = nullptr) {
-  using traits = census_traits<P>;
+  using traits = census_model_t<P>;
+  constexpr bool kEdgeCensus = edge_census_protocol<P>;
   const P& proto = compiled.protocol();
   const node_id n = g.num_nodes();
   expects(edges.doubled() == 2 * static_cast<std::uint64_t>(g.num_edges()),
@@ -125,6 +163,27 @@ election_result run_compiled(compiled_protocol<P>& compiled,
     const auto& c = compiled.contribution(id);
     for (int i = 0; i < traits::kCounters; ++i) totals[i] += c[static_cast<std::size_t>(i)];
   }
+
+  // Edge-census protocols track a class byte per node and the per-class-pair
+  // edge counters alongside the node totals; stability is the traits' joint
+  // predicate over both.  Counter-shaped protocols skip all of it (constexpr).
+  edge_class_census ecensus;
+  const graph_rows rows{&g};
+  if constexpr (kEdgeCensus) {
+    std::vector<std::uint8_t> cls(static_cast<std::size_t>(n));
+    for (node_id v = 0; v < n; ++v) {
+      cls[static_cast<std::size_t>(v)] =
+          compiled.state_class(config[static_cast<std::size_t>(v)]);
+    }
+    ecensus.reset(cls, g.edges());
+  }
+  const auto stable_now = [&] {
+    if constexpr (kEdgeCensus) {
+      return traits::stable(totals, ecensus.pairs());
+    } else {
+      return traits::stable(totals);
+    }
+  };
 
   // With the census on, distinct states are a byte-mark per interned id:
   // every id ever written into `config` gets marked, which is exactly the
@@ -155,7 +214,7 @@ election_result run_compiled(compiled_protocol<P>& compiled,
 
   election_result result;
   std::uint64_t steps = 0;
-  while (!traits::stable(totals)) {
+  while (!stable_now()) {
     if (steps >= options.max_steps) {
       result.steps = steps;
       if (census) {
@@ -167,10 +226,13 @@ election_result run_compiled(compiled_protocol<P>& compiled,
     // predicate is only re-evaluated after a step whose census delta is
     // nonzero — on zero-delta steps (the overwhelming majority on
     // sparse-token protocols) the totals cannot move, so neither the four
-    // counter adds nor the predicate run.  Census marks fire only for ids
-    // that actually changed: an unchanged id was marked when it was written
-    // into `config`.  All of this is observationally identical to the
-    // per-step checks (same stopping step, same marks), so seeded
+    // counter adds nor the predicate run.  Edge-census protocols extend the
+    // fast path's trigger to class flips: a step that changes neither the
+    // node totals nor any node's class cannot move the pair counters either,
+    // so the joint predicate is equally skippable.  Census marks fire only
+    // for ids that actually changed: an unchanged id was marked when it was
+    // written into `config`.  All of this is observationally identical to
+    // the per-step checks (same stopping step, same marks), so seeded
     // equivalence with the reference simulator is preserved.
     const std::uint64_t remaining = options.max_steps - steps;
     const std::size_t len =
@@ -196,11 +258,27 @@ election_result run_compiled(compiled_protocol<P>& compiled,
       std::uint32_t delta_bits;
       static_assert(sizeof(delta_bits) == sizeof(e.delta));
       std::memcpy(&delta_bits, e.delta.data(), sizeof(delta_bits));
-      if (delta_bits != 0) {
-        for (int c = 0; c < traits::kCounters; ++c) {
-          totals[c] += e.delta[static_cast<std::size_t>(c)];
+      if constexpr (kEdgeCensus) {
+        bool moved = delta_bits != 0;
+        if (e.a2 != ca) {
+          moved |= ecensus.reclass(rows, u, compiled.state_class(e.a2));
         }
-        if (traits::stable(totals)) break;
+        if (e.b2 != cb) {
+          moved |= ecensus.reclass(rows, v, compiled.state_class(e.b2));
+        }
+        if (delta_bits != 0) {
+          for (int c = 0; c < traits::kCounters; ++c) {
+            totals[c] += e.delta[static_cast<std::size_t>(c)];
+          }
+        }
+        if (moved && stable_now()) break;
+      } else {
+        if (delta_bits != 0) {
+          for (int c = 0; c < traits::kCounters; ++c) {
+            totals[c] += e.delta[static_cast<std::size_t>(c)];
+          }
+          if (stable_now()) break;
+        }
       }
     }
   }
@@ -210,8 +288,7 @@ election_result run_compiled(compiled_protocol<P>& compiled,
   if (census) {
     for (const auto s : seen) result.distinct_states_used += s;
   }
-  result.leader = elected_leader(
-      config, [&](std::uint32_t id) { return compiled.output(id); }, old_of_new);
+  result.leader = elected_leader_compiled(config, compiled, old_of_new);
   return result;
 }
 
@@ -259,20 +336,75 @@ struct packed_endpoints {
   std::size_t bytes() const { return pairs.size() * sizeof(pair_type); }
 };
 
+// Sweep-shared initial state for run_packed: the initial config at word
+// width W, the census totals it implies and — for edge-census protocols —
+// the initial edge-class census.  The initial configuration of a sweep is
+// deterministic, so tuned_runner computes this once and every trial's setup
+// collapses to a few memcpys instead of n intern lookups plus an O(m) pair
+// recount — the term that dominates one-interaction elections like
+// star-on-star (bench/star.cpp).
+template <typename W>
+struct packed_start {
+  std::vector<W> config;
+  std::array<std::int64_t, kMaxCensusCounters> totals{};
+  edge_class_census ecensus;  // empty for counter-shaped protocols
+};
+
+// Builds the initial state a run on (compiled, g, old_of_new) starts from.
+// The single definition serves tuned_runner's per-sweep precompute AND
+// run_packed's no-start fallback, so the two can never drift — the
+// "identical by construction" half of the bit-identity contract.  Requires
+// every initial state to be interned already (id_of), i.e. a prepared table.
+template <typename W, compilable_protocol P>
+packed_start<W> make_packed_start(const compiled_protocol<P>& compiled,
+                                  const graph& g,
+                                  const std::vector<node_id>* old_of_new) {
+  using traits = census_model_t<P>;
+  const P& proto = compiled.protocol();
+  const node_id n = g.num_nodes();
+  packed_start<W> s;
+  s.config.resize(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) {
+    const node_id src = old_of_new ? (*old_of_new)[static_cast<std::size_t>(v)] : v;
+    const auto id = compiled.id_of(proto.initial_state(src));
+    s.config[static_cast<std::size_t>(v)] = static_cast<W>(id);
+    const auto& c = compiled.contribution(id);
+    for (int i = 0; i < traits::kCounters; ++i) {
+      s.totals[static_cast<std::size_t>(i)] += c[static_cast<std::size_t>(i)];
+    }
+  }
+  if constexpr (edge_census_protocol<P>) {
+    std::vector<std::uint8_t> cls(s.config.size());
+    for (std::size_t v = 0; v < cls.size(); ++v) {
+      cls[v] = compiled.state_class(s.config[v]);
+    }
+    s.ecensus.reset(cls, g.edges());
+  }
+  return s;
+}
+
 // run_packed: the run_compiled loop over a width-packed closed table, packed
 // endpoint array and W-word config.  For the same (seed, graph, nullptr map)
 // it is bit-identical to run_compiled at every width: the draw stream, the
 // pick-to-interaction mapping, the census marks and the stability predicate
 // are all unchanged — only the bytes per touch shrink.  Requires the closed
 // table the packed_table snapshot was taken from.
+//
+// Edge-census protocols additionally need `adjacency` — the packed CSR view
+// their class-flip walks load (edgecensus/edgecensus.h).  `start`, when
+// given, replaces the per-trial initial-state computation with copies of the
+// precomputed values (identical by construction, so bit-identity holds
+// either way).
 template <typename W, typename N, compilable_protocol P>
 election_result run_packed(const compiled_protocol<P>& compiled,
                            const packed_table<W, P>& table,
                            const packed_endpoints<N>& edges, const graph& g,
                            rng gen, const sim_options& options = {},
-                           const std::vector<node_id>* old_of_new = nullptr) {
-  using traits = census_traits<P>;
-  const P& proto = compiled.protocol();
+                           const std::vector<node_id>* old_of_new = nullptr,
+                           const packed_csr<N>* adjacency = nullptr,
+                           const packed_start<W>* start = nullptr) {
+  using traits = census_model_t<P>;
+  constexpr bool kEdgeCensus = edge_census_protocol<P>;
   const node_id n = g.num_nodes();
   expects(edges.pairs.size() == static_cast<std::size_t>(g.num_edges()),
           "run_packed: endpoint array does not match the graph");
@@ -282,16 +414,34 @@ election_result run_packed(const compiled_protocol<P>& compiled,
   expects(old_of_new == nullptr ||
               old_of_new->size() == static_cast<std::size_t>(n),
           "run_packed: node map does not match the graph");
-
-  std::vector<W> config(static_cast<std::size_t>(n));
-  std::int64_t totals[kMaxCensusCounters] = {};
-  for (node_id v = 0; v < n; ++v) {
-    const node_id src = old_of_new ? (*old_of_new)[static_cast<std::size_t>(v)] : v;
-    const auto id = compiled.id_of(proto.initial_state(src));
-    config[static_cast<std::size_t>(v)] = static_cast<W>(id);
-    const auto& c = compiled.contribution(id);
-    for (int i = 0; i < traits::kCounters; ++i) totals[i] += c[static_cast<std::size_t>(i)];
+  if constexpr (kEdgeCensus) {
+    expects(adjacency != nullptr &&
+                adjacency->offsets.size() == static_cast<std::size_t>(n) + 1,
+            "run_packed: edge-census protocols need the graph's CSR adjacency "
+            "view");
   }
+
+  // Without a caller-provided start, build the identical one locally.
+  std::optional<packed_start<W>> local_start;
+  if (start == nullptr) {
+    start = &local_start.emplace(make_packed_start<W>(compiled, g, old_of_new));
+  }
+  expects(start->config.size() == static_cast<std::size_t>(n),
+          "run_packed: shared initial state does not match the graph");
+  std::vector<W> config = start->config;
+  std::int64_t totals[kMaxCensusCounters] = {};
+  for (int i = 0; i < traits::kCounters; ++i) {
+    totals[i] = start->totals[static_cast<std::size_t>(i)];
+  }
+  edge_class_census ecensus;
+  if constexpr (kEdgeCensus) ecensus = start->ecensus;
+  const auto stable_now = [&] {
+    if constexpr (kEdgeCensus) {
+      return traits::stable(totals, ecensus.pairs());
+    } else {
+      return traits::stable(totals);
+    }
+  };
 
   // The table is closed, so the id space is fixed: the census byte-marks can
   // be sized once up front (same marks as run_compiled's lazy resize).
@@ -321,7 +471,7 @@ election_result run_packed(const compiled_protocol<P>& compiled,
 
   election_result result;
   std::uint64_t steps = 0;
-  while (!traits::stable(totals)) {
+  while (!stable_now()) {
     if (steps >= options.max_steps) {
       result.steps = steps;
       if (census) {
@@ -361,11 +511,27 @@ election_result run_packed(const compiled_protocol<P>& compiled,
         if (e.a2 != ca) seen[e.a2] = 1;
         if (e.b2 != cb) seen[e.b2] = 1;
       }
-      if (e.delta_nonzero()) {
-        for (int c = 0; c < traits::kCounters; ++c) {
-          totals[c] += e.delta_of(c);
+      if constexpr (kEdgeCensus) {
+        bool moved = e.delta_nonzero();
+        if (e.a2 != ca) {
+          moved |= ecensus.reclass(*adjacency, u, compiled.state_class(e.a2));
         }
-        if (traits::stable(totals)) break;
+        if (e.b2 != cb) {
+          moved |= ecensus.reclass(*adjacency, v, compiled.state_class(e.b2));
+        }
+        if (e.delta_nonzero()) {
+          for (int c = 0; c < traits::kCounters; ++c) {
+            totals[c] += e.delta_of(c);
+          }
+        }
+        if (moved && stable_now()) break;
+      } else {
+        if (e.delta_nonzero()) {
+          for (int c = 0; c < traits::kCounters; ++c) {
+            totals[c] += e.delta_of(c);
+          }
+          if (stable_now()) break;
+        }
       }
     }
   }
@@ -375,8 +541,7 @@ election_result run_packed(const compiled_protocol<P>& compiled,
   if (census) {
     for (const auto s : seen) result.distinct_states_used += s;
   }
-  result.leader = elected_leader(
-      config, [&](W id) { return compiled.output(id); }, old_of_new);
+  result.leader = elected_leader_compiled(config, compiled, old_of_new);
   return result;
 }
 
@@ -448,18 +613,27 @@ class tuned_runner {
     }
     if (static_cast<std::uint64_t>(run_graph().num_nodes()) <= 65536) {
       pairs_.template emplace<packed_endpoints<std::uint16_t>>(run_graph());
+      if constexpr (edge_census_protocol<P>) {
+        csr_.template emplace<packed_csr<std::uint16_t>>(run_graph());
+      }
     } else {
       pairs_.template emplace<packed_endpoints<std::uint32_t>>(run_graph());
+      if constexpr (edge_census_protocol<P>) {
+        csr_.template emplace<packed_csr<std::uint32_t>>(run_graph());
+      }
     }
     switch (pack_bits_) {
       case 8:
         table_.template emplace<packed_table<std::uint8_t, P>>(compiled_);
+        build_start<std::uint8_t>();
         break;
       case 16:
         table_.template emplace<packed_table<std::uint16_t, P>>(compiled_);
+        build_start<std::uint16_t>();
         break;
       default:
         table_.template emplace<packed_table<std::uint32_t, P>>(compiled_);
+        build_start<std::uint32_t>();
         break;
     }
   }
@@ -519,6 +693,17 @@ class tuned_runner {
           }
         },
         pairs_);
+    std::visit(
+        [&](const auto& c) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(c)>, std::monostate>) {
+            total += c.bytes();
+          }
+        },
+        csr_);
+    // Edge-census runs also touch the class byte per node on flip walks.
+    if constexpr (edge_census_protocol<P>) {
+      total += static_cast<std::size_t>(run_graph().num_nodes());
+    }
     return total;
   }
 
@@ -542,17 +727,32 @@ class tuned_runner {
   }
 
  private:
+  // Precomputes the sweep's shared initial state (config, totals, edge-class
+  // census) for the resolved width; run() hands it to every trial.  The
+  // construction itself is make_packed_start — the same function run_packed
+  // falls back to without a start — so the two cannot drift.
+  template <typename W>
+  void build_start() {
+    start_ = make_packed_start<W>(
+        compiled_, run_graph(), old_of_new_.empty() ? nullptr : &old_of_new_);
+  }
+
   template <typename W>
   election_result run_width(rng gen, const sim_options& options,
                             const std::vector<node_id>* map) const {
     const auto& table = std::get<packed_table<W, P>>(table_);
+    const auto& start = std::get<packed_start<W>>(start_);
+    // get_if yields nullptr while csr_ holds monostate — exactly the
+    // counter-shaped protocols, for which run_packed ignores the view.
     if (const auto* e16 =
             std::get_if<packed_endpoints<std::uint16_t>>(&pairs_)) {
-      return run_packed(compiled_, table, *e16, run_graph(), gen, options, map);
+      return run_packed(compiled_, table, *e16, run_graph(), gen, options, map,
+                        std::get_if<packed_csr<std::uint16_t>>(&csr_), &start);
     }
     return run_packed(compiled_, table,
                       std::get<packed_endpoints<std::uint32_t>>(pairs_),
-                      run_graph(), gen, options, map);
+                      run_graph(), gen, options, map,
+                      std::get_if<packed_csr<std::uint32_t>>(&csr_), &start);
   }
 
   const P* proto_;
@@ -569,6 +769,14 @@ class tuned_runner {
   std::variant<std::monostate, packed_endpoints<std::uint16_t>,
                packed_endpoints<std::uint32_t>>
       pairs_;
+  // CSR adjacency for edge-census class walks (monostate otherwise).
+  std::variant<std::monostate, packed_csr<std::uint16_t>,
+               packed_csr<std::uint32_t>>
+      csr_;
+  // Shared initial state at the resolved width (monostate on the fallback).
+  std::variant<std::monostate, packed_start<std::uint8_t>,
+               packed_start<std::uint16_t>, packed_start<std::uint32_t>>
+      start_;
   std::optional<edge_endpoints> fallback_edges_;  // lazy fallback only
   std::size_t fallback_table_bytes_ = 0;          // released table's footprint
 };

@@ -62,11 +62,11 @@ namespace pp {
 // The initial configuration as a state multiset: (state, multiplicity) pairs
 // with multiplicities summing to n.  Building it is the only O(n) work in a
 // well-mixed run; sweeps build it once and share it across trials.
-template <compilable_protocol P>
+template <node_census_protocol P>
 using wellmixed_multiset =
     std::vector<std::pair<typename P::state_type, std::uint64_t>>;
 
-template <compilable_protocol P>
+template <node_census_protocol P>
 wellmixed_multiset<P> initial_multiset(const P& proto, std::uint64_t n) {
   expects(n >= 2, "initial_multiset: population must have at least 2 agents");
   expects(n <= static_cast<std::uint64_t>(std::numeric_limits<node_id>::max()),
@@ -115,7 +115,7 @@ struct pair_class {
 // exchangeable) and -1 otherwise, and `distinct_states_used` counts states
 // whose multiplicity was ever positive (transient states that would only
 // exist inside an unordered batch are not observable and not counted).
-template <compilable_protocol P>
+template <node_census_protocol P>
 election_result run_wellmixed(compiled_protocol<P>& compiled,
                               const wellmixed_multiset<P>& initial,
                               std::uint64_t n, rng gen,
@@ -591,7 +591,7 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
 
 // Convenience wrapper: compiles the protocol lazily and runs one well-mixed
 // election on a clique of n agents from the protocol's initial states.
-template <compilable_protocol P>
+template <node_census_protocol P>
 election_result run_wellmixed(const P& proto, std::uint64_t n, rng gen,
                               const sim_options& options = {}) {
   compiled_protocol<P> compiled(proto);
@@ -605,7 +605,7 @@ election_result run_wellmixed(const P& proto, std::uint64_t n, rng gen,
 // forked processes); otherwise each trial compiles its own lazy table.  This
 // is the one home of that policy — measure_election_wellmixed, the fleet
 // sweeps and popsim's worker mode all run trials through it.
-template <compilable_protocol P>
+template <node_census_protocol P>
 class wellmixed_sweep {
  public:
   wellmixed_sweep(const P& proto, wellmixed_multiset<P> initial, std::uint64_t n)

@@ -18,6 +18,7 @@ constexpr std::uint32_t kTagMeta = fourcc('M', 'E', 'T', 'A');
 constexpr std::uint32_t kTagGraph = fourcc('G', 'R', 'P', 'H');
 constexpr std::uint32_t kTagTable = fourcc('T', 'A', 'B', 'L');
 constexpr std::uint32_t kTagPacked = fourcc('P', 'A', 'C', 'K');
+constexpr std::uint32_t kTagEdge = fourcc('E', 'D', 'G', 'E');
 constexpr std::uint32_t kTagWellmixed = fourcc('W', 'M', 'I', 'X');
 
 // Append-only native-endian byte sink.  All multi-byte fields go through
@@ -225,6 +226,30 @@ packed_section parse_packed(byte_reader& r) {
   return p;
 }
 
+std::vector<std::uint8_t> edge_payload(const edge_section& e) {
+  byte_writer w;
+  w.u32(e.num_classes);
+  w.u64(e.classes.size());
+  w.bytes(e.classes.data(), e.classes.size());
+  return w.take();
+}
+
+edge_section parse_edge(byte_reader& r) {
+  edge_section e;
+  e.num_classes = r.u32();
+  expects(e.num_classes >= 1 &&
+              e.num_classes <= static_cast<std::uint32_t>(kMaxEdgeClasses),
+          "artifact: edge section has an invalid class count");
+  const std::uint64_t k = r.count(r.u64(), 1);
+  const std::uint8_t* data = r.raw(k);
+  e.classes.assign(data, data + k);
+  for (const std::uint8_t c : e.classes) {
+    expects(c < e.num_classes,
+            "artifact: edge section names a class beyond its class count");
+  }
+  return e;
+}
+
 std::vector<std::uint8_t> wellmixed_payload(const wellmixed_section& s) {
   byte_writer w;
   w.u64(s.population);
@@ -287,6 +312,13 @@ node_id six_population_of(const protocol_desc& desc) {
   return static_cast<node_id>(desc.params[0]);
 }
 
+protocol_desc star_desc() { return {protocol_kind::star, {}}; }
+
+void expect_star_desc(const protocol_desc& desc) {
+  expects(desc.kind == protocol_kind::star && desc.params.empty(),
+          "artifact: descriptor is not a star-protocol descriptor");
+}
+
 std::vector<std::uint8_t> artifact_bytes(const sweep_artifact& artifact) {
   // Sections in fixed order (META, then the present optionals) so equal
   // artifacts always serialize to equal bytes.
@@ -303,6 +335,10 @@ std::vector<std::uint8_t> artifact_bytes(const sweep_artifact& artifact) {
   }
   if (artifact.packed) {
     write_section(payload, kTagPacked, packed_payload(*artifact.packed));
+    ++sections;
+  }
+  if (artifact.edge) {
+    write_section(payload, kTagEdge, edge_payload(*artifact.edge));
     ++sections;
   }
   if (artifact.wellmixed) {
@@ -331,7 +367,12 @@ sweep_artifact artifact_from_bytes(const std::vector<std::uint8_t>& bytes) {
   expects(header.u32() == kArtifactEndianTag,
           "artifact: foreign endianness (artifact was written on an "
           "incompatible host)");
-  expects(header.u32() == kArtifactVersion, "artifact: unsupported format version");
+  // Version 2 is a strict superset of version 1 (the EDGE section is
+  // optional and nothing else changed), so v1 files stay loadable; anything
+  // newer than this build is rejected.
+  const std::uint32_t version = header.u32();
+  expects(version == 1 || version == kArtifactVersion,
+          "artifact: unsupported format version");
   sweep_artifact a;
   a.engine = static_cast<artifact_engine>(header.u32());
   expects(a.engine == artifact_engine::tuned || a.engine == artifact_engine::wellmixed,
@@ -361,6 +402,7 @@ sweep_artifact artifact_from_bytes(const std::vector<std::uint8_t>& bytes) {
       case kTagGraph: a.graph = parse_graph(section); break;
       case kTagTable: a.table = parse_table(section); break;
       case kTagPacked: a.packed = parse_packed(section); break;
+      case kTagEdge: a.edge = parse_edge(section); break;
       case kTagWellmixed: a.wellmixed = parse_wellmixed(section); break;
       default: expects(false, "artifact: unknown section tag");
     }

@@ -20,8 +20,9 @@
 //   40      ...   sections: {tag u32, reserved u32, length u64, bytes}
 //
 // Versioning policy: any change to the header or a section layout bumps
-// kArtifactVersion; loaders accept exactly the versions they were built for
-// and reject everything else (artifacts are cheap to regenerate — the closed
+// kArtifactVersion; loaders accept the versions whose layout they can parse
+// exactly (currently {1, 2} — v2 only *added* the optional EDGE section) and
+// reject everything else (artifacts are cheap to regenerate — the closed
 // table is O(|Λ|²) — so there is no migration machinery).
 //
 // Load semantics: load_artifact only parses and checksums.  A worker then
@@ -54,7 +55,11 @@ namespace pp::fleet {
 
 inline constexpr std::uint32_t kArtifactMagic = 0x46415050;  // "PPAF"
 inline constexpr std::uint32_t kArtifactEndianTag = 0x01020304;
-inline constexpr std::uint32_t kArtifactVersion = 1;
+// Version 2 added the EDGE section (per-state edge classes) and the star
+// protocol kind; version-1 readers reject such artifacts loudly.  Because
+// nothing in the v1 layout changed, this build still reads v1 files
+// (load accepts {1, 2}, save always writes 2).
+inline constexpr std::uint32_t kArtifactVersion = 2;
 
 // Which engine the artifact's sweep runs on.
 enum class artifact_engine : std::uint32_t { tuned = 0, wellmixed = 1 };
@@ -63,7 +68,7 @@ enum class artifact_engine : std::uint32_t { tuned = 0, wellmixed = 1 };
 // construction parameters (e.g. the fast protocol's h/L/α·L, which normally
 // come from a seeded broadcast-time estimate), so every worker reconstructs
 // exactly the producer's protocol object without re-estimating anything.
-enum class protocol_kind : std::uint32_t { fast = 1, six = 2 };
+enum class protocol_kind : std::uint32_t { fast = 1, six = 2, star = 3 };
 
 struct protocol_desc {
   protocol_kind kind = protocol_kind::fast;
@@ -76,6 +81,11 @@ protocol_desc fast_desc(const fast_params& params);
 fast_params fast_params_of(const protocol_desc& desc);
 protocol_desc six_desc(node_id n);
 node_id six_population_of(const protocol_desc& desc);
+// star_protocol is parameter-free: the descriptor is {star, {}} and
+// expect_star_desc only validates the shape (workers construct
+// star_protocol{} directly).
+protocol_desc star_desc();
+void expect_star_desc(const protocol_desc& desc);
 
 // Semantic snapshot of a closed compiled_protocol table over its dense ids:
 // the per-state encode() codes (the cross-process state identity), output
@@ -120,6 +130,17 @@ struct graph_section {
   friend bool operator==(const graph_section&, const graph_section&) = default;
 };
 
+// Edge-census declaration of a tuned sweep (edge-census protocols only):
+// the number of edge classes and each dense state id's class, i.e. exactly
+// the table run_packed's class-flip walks load.  The CSR adjacency itself is
+// derived deterministically from the GRPH section, so it is not stored.
+struct edge_section {
+  std::uint32_t num_classes = 0;
+  std::vector<std::uint8_t> classes;  // class per dense state id
+
+  friend bool operator==(const edge_section&, const edge_section&) = default;
+};
+
 // Well-mixed initial configuration as (encode(state), multiplicity) classes
 // in interning order; multiplicities sum to the population size.
 struct wellmixed_section {
@@ -137,6 +158,7 @@ struct sweep_artifact {
   std::optional<graph_section> graph;         // tuned engine
   std::optional<table_section> table;         // closed tables only
   std::optional<packed_section> packed;       // tuned engine
+  std::optional<edge_section> edge;           // edge-census protocols only
   std::optional<wellmixed_section> wellmixed;  // well-mixed engine
 
   friend bool operator==(const sweep_artifact&, const sweep_artifact&) = default;
@@ -230,7 +252,28 @@ void validate_packed(const packed_section& section,
           "artifact: this build's packed table diverges from the stored one");
 }
 
-template <compilable_protocol P>
+template <edge_census_protocol P>
+edge_section snapshot_edge(const compiled_protocol<P>& compiled) {
+  expects(compiled.closed(), "snapshot_edge: artifacts hold closed tables only");
+  edge_section s;
+  s.num_classes = static_cast<std::uint32_t>(edge_census_traits<P>::kClasses);
+  s.classes.reserve(compiled.num_states());
+  using state_id = typename compiled_protocol<P>::state_id;
+  for (std::size_t id = 0; id < compiled.num_states(); ++id) {
+    s.classes.push_back(compiled.state_class(static_cast<state_id>(id)));
+  }
+  return s;
+}
+
+template <edge_census_protocol P>
+void validate_edge(const edge_section& section,
+                   const compiled_protocol<P>& compiled) {
+  expects(snapshot_edge(compiled) == section,
+          "artifact: this build's edge classes diverge from the stored ones "
+          "(producer/worker version skew)");
+}
+
+template <node_census_protocol P>
 wellmixed_section snapshot_wellmixed(const P& proto,
                                      const wellmixed_multiset<P>& initial,
                                      std::uint64_t n) {
@@ -245,7 +288,7 @@ wellmixed_section snapshot_wellmixed(const P& proto,
   return s;
 }
 
-template <compilable_protocol P>
+template <node_census_protocol P>
 void validate_wellmixed(const wellmixed_section& section, const P& proto,
                         const wellmixed_multiset<P>& initial) {
   expects(snapshot_wellmixed(proto, initial, section.population) == section,
@@ -273,6 +316,9 @@ sweep_artifact make_tuned_artifact(const tuned_runner<P>& runner,
   a.graph = snapshot_graph(original, runner.order(), runner.old_of_new());
   a.table = snapshot_table(runner.compiled());
   a.packed = snapshot_packed(runner.compiled(), runner.pack_bits());
+  if constexpr (edge_census_protocol<P>) {
+    a.edge = snapshot_edge(runner.compiled());
+  }
   return a;
 }
 
@@ -303,12 +349,20 @@ void validate_tuned_artifact(const sweep_artifact& artifact,
   }
   validate_table(*artifact.table, runner.compiled());
   validate_packed(*artifact.packed, runner.compiled());
+  if constexpr (edge_census_protocol<P>) {
+    expects(artifact.edge.has_value(),
+            "artifact: edge-census protocol without an EDGE section");
+    validate_edge(*artifact.edge, runner.compiled());
+  } else {
+    expects(!artifact.edge.has_value(),
+            "artifact: EDGE section on a counter-shaped protocol");
+  }
 }
 
 // Snapshot of a well-mixed sweep: the initial multiset plus — when the
 // reachable space closes within the engine budget — the closed table, so
 // workers can also gate their transition semantics.
-template <compilable_protocol P>
+template <node_census_protocol P>
 sweep_artifact make_wellmixed_artifact(const P& proto,
                                        const wellmixed_multiset<P>& initial,
                                        std::uint64_t n, std::string family,
@@ -323,7 +377,7 @@ sweep_artifact make_wellmixed_artifact(const P& proto,
   return a;
 }
 
-template <compilable_protocol P>
+template <node_census_protocol P>
 void validate_wellmixed_artifact(const sweep_artifact& artifact, const P& proto,
                                  const wellmixed_multiset<P>& initial) {
   expects(artifact.engine == artifact_engine::wellmixed &&

@@ -7,6 +7,7 @@
 
 #include "core/beauquier.h"
 #include "core/fast_election.h"
+#include "core/star_protocol.h"
 #include "dynamics/epidemic.h"
 #include "engine/engine.h"
 #include "fleet/artifact.h"
@@ -78,6 +79,13 @@ TEST(Artifact, RejectsBadMagicVersionAndEndianness) {
   bad_version[8] = static_cast<std::uint8_t>(kArtifactVersion + 1);
   EXPECT_THROW(artifact_from_bytes(bad_version), std::invalid_argument);
 
+  // v1 files stay loadable: v2 only added the optional EDGE section, so a
+  // version-1 header over the same layout parses (the version byte is
+  // outside the checksummed payload).
+  auto v1 = good;
+  v1[8] = 1;
+  EXPECT_NO_THROW(artifact_from_bytes(v1));
+
   auto truncated = good;
   truncated.resize(truncated.size() - 1);
   EXPECT_THROW(artifact_from_bytes(truncated), std::invalid_argument);
@@ -148,6 +156,68 @@ TEST(Artifact, TunedArtifactValidatesAgainstFreshRebuild) {
   EXPECT_THROW(validate_tuned_artifact(skewed, rebuilt), std::invalid_argument);
 }
 
+// Star fixture: the edge-census protocol on a small cycle (the EDGE-section
+// path of the container).
+struct star_fixture {
+  graph g = make_cycle(120);
+  star_protocol proto;
+  tuned_runner<star_protocol> runner;
+
+  explicit star_fixture(engine_tuning tuning = {}) : runner(proto, g, tuning) {}
+
+  sweep_artifact artifact() const {
+    return make_tuned_artifact(runner, g, "cycle", star_desc());
+  }
+};
+
+TEST(Artifact, StarArtifactCarriesTheEdgeSectionAndRoundTrips) {
+  const star_fixture fx;
+  const sweep_artifact a = fx.artifact();
+  ASSERT_TRUE(a.edge.has_value());
+  EXPECT_EQ(a.edge->num_classes, 2u);
+  // Reachable states: undecided (class 0), leader and follower (class 1).
+  ASSERT_EQ(a.edge->classes.size(), fx.runner.compiled().num_states());
+  EXPECT_EQ(a.edge->classes[0], 0);
+  for (std::size_t id = 1; id < a.edge->classes.size(); ++id) {
+    EXPECT_EQ(a.edge->classes[id], 1) << "state id " << id;
+  }
+
+  const auto bytes = artifact_bytes(a);
+  const sweep_artifact b = artifact_from_bytes(bytes);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(bytes, artifact_bytes(b));  // the CI round-trip gate, star flavour
+
+  // Checksum rejection holds for EDGE-bearing artifacts too.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() - 1] ^= 0x01;
+  EXPECT_THROW(artifact_from_bytes(corrupt), std::invalid_argument);
+}
+
+TEST(Artifact, StarArtifactValidatesAgainstFreshRebuildAndDetectsSkew) {
+  const star_fixture fx({.order = vertex_order::rcm});
+  const sweep_artifact a = fx.artifact();
+  const graph g = rebuild_graph(*a.graph);
+  const tuned_runner<star_protocol> rebuilt(star_protocol{}, g, tuning_of(a));
+  EXPECT_NO_THROW(validate_tuned_artifact(a, rebuilt));
+
+  // A producer whose build assigns different edge classes must fail loudly.
+  sweep_artifact skewed = a;
+  skewed.edge->classes[0] ^= 1;
+  EXPECT_THROW(validate_tuned_artifact(skewed, rebuilt), std::invalid_argument);
+
+  // A star artifact stripped of its EDGE section is rejected outright.
+  sweep_artifact stripped = a;
+  stripped.edge.reset();
+  EXPECT_THROW(validate_tuned_artifact(stripped, rebuilt), std::invalid_argument);
+}
+
+TEST(Artifact, EdgeSectionClassBoundsAreEnforcedOnParse) {
+  const star_fixture fx;
+  sweep_artifact a = fx.artifact();
+  a.edge->classes[0] = 7;  // beyond num_classes = 2
+  EXPECT_THROW(artifact_from_bytes(artifact_bytes(a)), std::invalid_argument);
+}
+
 TEST(Artifact, ProtocolDescriptorsRoundTrip) {
   fast_params p;
   p.h = 5;
@@ -161,6 +231,11 @@ TEST(Artifact, ProtocolDescriptorsRoundTrip) {
   EXPECT_EQ(six_population_of(six_desc(1234)), 1234);
   EXPECT_THROW(fast_params_of(six_desc(9)), std::invalid_argument);
   EXPECT_THROW(six_population_of(fast_desc(p)), std::invalid_argument);
+
+  EXPECT_TRUE(star_desc().params.empty());
+  EXPECT_NO_THROW(expect_star_desc(star_desc()));
+  EXPECT_THROW(expect_star_desc(six_desc(9)), std::invalid_argument);
+  EXPECT_THROW(fast_params_of(star_desc()), std::invalid_argument);
 }
 
 TEST(Artifact, WellmixedArtifactRoundTripsAndValidates) {

@@ -63,7 +63,11 @@ TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
       "clique 100 fast --jobs 257",              // out-of-range jobs
       "clique 100 id --jobs 2",                  // fleet needs the engine
       "clique 100 id --save-artifact /tmp/x",    // artifacts need the engine
+      "clique 100 id --order bfs",               // tuning needs the engine
+      "cycle 100 six --pack 8",                  // tuning needs the engine
       "cycle 100 fast --engine wellmixed",       // wellmixed needs clique
+      "clique 100 star --engine wellmixed",      // no multiset star engine
+      "clique 100 star --pack 64",               // unsupported width
       "clique 100 six --engine wellmixed --order rcm",  // tuning vs multiset
       "clique 100 fast --load-artifact /nonexistent",   // load + positionals
       "--load-artifact /nonexistent/artifact.ppaf",     // unreadable artifact
@@ -84,6 +88,21 @@ TEST(CliExitCodes, ValidRunExitsZero) {
   const cli_result r = run_cli("cycle 64 six --trials 2 --seed 3");
   EXPECT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("stabilized"), std::string::npos);
+}
+
+TEST(CliExitCodes, StarRunsOnTheTunedEngineWithTuningFlags) {
+  // PR 5: protocol star goes through the compiled edge-census engine, so the
+  // formerly fast-only tuning flags are now valid star invocations.
+  const cli_result plain = run_cli("star 200 star --trials 3 --seed 2");
+  EXPECT_EQ(plain.code, 0);
+  EXPECT_NE(plain.out.find("engine: order=natural"), std::string::npos);
+  EXPECT_NE(plain.out.find("stabilized: 100%"), std::string::npos);
+
+  const cli_result tuned =
+      run_cli("star 200 star --trials 3 --seed 2 --order rcm --pack 8");
+  EXPECT_EQ(tuned.code, 0);
+  EXPECT_NE(tuned.out.find("engine: order=rcm pack=u8"), std::string::npos);
+  EXPECT_NE(tuned.out.find("stabilized: 100%"), std::string::npos);
 }
 
 // The CLI half of the fleet-determinism gate: a --jobs sweep over a saved
@@ -107,6 +126,45 @@ TEST(CliFleet, ArtifactSweepStdoutIsIdenticalSerialVsJobs) {
   EXPECT_EQ(saved.out, serial.out);
 
   // Round trip: load → re-save must be byte-identical (cmp in CI).
+  const cli_result resave = run_cli("--load-artifact " + artifact +
+                                    " --trials 1 --save-artifact " + resaved);
+  ASSERT_EQ(resave.code, 0);
+  std::FILE* a = std::fopen(artifact.c_str(), "rb");
+  std::FILE* b = std::fopen(resaved.c_str(), "rb");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::string bytes_a, bytes_b;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), a)) > 0) bytes_a.append(buf.data(), got);
+  while ((got = fread(buf.data(), 1, buf.size(), b)) > 0) bytes_b.append(buf.data(), got);
+  std::fclose(a);
+  std::fclose(b);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(artifact.c_str());
+  std::remove(resaved.c_str());
+}
+
+// Star sweeps shard like fast ones: the artifact carries the EDGE section
+// and the fleet stdout is byte-identical to serial.
+TEST(CliFleet, StarArtifactSweepStdoutIsIdenticalSerialVsJobs) {
+  const std::string dir = testing::TempDir();
+  const std::string artifact = dir + "/cli_star.ppaf";
+  const std::string resaved = dir + "/cli_star_resaved.ppaf";
+
+  const cli_result saved =
+      run_cli("cycle 300 star --trials 9 --seed 6 --save-artifact " + artifact);
+  ASSERT_EQ(saved.code, 0);
+
+  const std::string sweep_args = "--load-artifact " + artifact + " --trials 9 --seed 6";
+  const cli_result serial = run_cli(sweep_args);
+  const cli_result fleet = run_cli(sweep_args + " --jobs 3");
+  ASSERT_EQ(serial.code, 0);
+  ASSERT_EQ(fleet.code, 0);
+  EXPECT_EQ(serial.out, fleet.out);
+  EXPECT_EQ(saved.out, serial.out);
+
   const cli_result resave = run_cli("--load-artifact " + artifact +
                                     " --trials 1 --save-artifact " + resaved);
   ASSERT_EQ(resave.code, 0);

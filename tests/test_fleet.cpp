@@ -13,6 +13,7 @@
 
 #include "analysis/experiment.h"
 #include "core/fast_election.h"
+#include "core/star_protocol.h"
 #include "dynamics/epidemic.h"
 #include "fleet/artifact.h"
 #include "fleet/sweep.h"
@@ -112,6 +113,24 @@ TEST(FleetRun, TunedSweepIsByteIdenticalToSerial) {
   for (const int jobs : {2, 3, 4}) {
     const auto fleet =
         measure_election_fleet(runner, trials, rng(7).fork(2), {}, jobs);
+    expect_same_summary(fleet, serial);
+  }
+}
+
+// The same contract on the edge-census engine: star sweeps shard like fast
+// ones — trial t keeps seed_gen.fork(t), so fleet == serial byte for byte.
+TEST(FleetRun, StarTunedSweepIsByteIdenticalToSerial) {
+  const graph g = make_cycle(240);
+  const star_protocol proto;
+  const tuned_runner<star_protocol> runner(proto, g);
+  const sim_options options{.max_steps = 50000};
+  const int trials = 17;
+
+  const auto serial =
+      measure_election_tuned(runner, trials, rng(9).fork(2), options);
+  for (const int jobs : {2, 3, 4}) {
+    const auto fleet =
+        measure_election_fleet(runner, trials, rng(9).fork(2), options, jobs);
     expect_same_summary(fleet, serial);
   }
 }

@@ -22,6 +22,14 @@ REQUIRED_KEYS = {
     "locality": ["equivalence", "matrix", "equivalence_pass", "locality_pass"],
     "wellmixed": ["agreement", "rates", "agreement_pass", "scale_pass"],
     "fleet": ["results", "determinism_pass", "scaling_pass", "w2_speedup_tuned"],
+    "star": [
+        "equivalence",
+        "star_elections",
+        "sustained",
+        "star_speedup",
+        "equivalence_pass",
+        "speedup_pass",
+    ],
 }
 
 
