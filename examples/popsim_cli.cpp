@@ -4,9 +4,11 @@
 //                          [--engine auto|wellmixed] [--order natural|bfs|rcm]
 //                          [--pack auto|8|16|32] [--jobs W]
 //                          [--save-artifact FILE]
+//                          [--journal FILE [--resume]] [--retries N]
+//                          [--worker-timeout-ms N] [--inject-fault SPECS]
 //   $ ./example_popsim_cli --load-artifact FILE [--trials T] [--seed S]
-//                          [--jobs W] [--save-artifact FILE]
-//   $ ./example_popsim_cli --worker MANIFEST INDEX
+//                          [--jobs W] [--save-artifact FILE] [fleet flags]
+//   $ ./example_popsim_cli --worker MANIFEST INDEX [BASE COUNT [FAULTS]]
 //
 //   family    clique | cycle | star | torus | er_dense | rr8
 //   protocol  fast | id | six | star
@@ -35,8 +37,22 @@
 //   --load-artifact  rebuild the sweep from an artifact instead of the
 //             positional arguments; the rebuild is validated byte-for-byte
 //             against the stored sections before anything runs
+//   --journal  spool every completed trial of the sweep to a crash-safe
+//             .ppaj journal (src/fleet/journal.h) as it streams in
+//   --resume  replay the --journal file first and run only the trials it
+//             is missing; the merged summary is identical to a fresh run
+//   --retries  worker kill-and-respawn budget across the sweep (default 2);
+//             once spent, leftover trials run inline in this process
+//   --worker-timeout-ms  kill and respawn a worker that has written nothing
+//             for this long (default: no timeout)
+//   --inject-fault  deterministic worker faults for testing the supervisor,
+//             comma-separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]
+//             (src/fleet/fault.h); injected into first-generation workers
+//             only, so the recovered sweep still matches the serial one
 //   --worker  internal: run one worker's trial block of a fleet manifest,
-//             streaming length-prefixed records to stdout
+//             streaming length-prefixed records to stdout; the supervisor
+//             appends an explicit BASE COUNT trial range and optionally a
+//             fault spec list
 //
 // Every invalid invocation exits nonzero (2 for usage errors, 1 for runtime
 // failures) — the fleet CI gates pipe this binary and depend on it.
@@ -60,6 +76,8 @@
 #include "core/star_protocol.h"
 #include "dynamics/epidemic.h"
 #include "fleet/artifact.h"
+#include "fleet/fault.h"
+#include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "graph/io.h"
 #include "support/parse.h"
@@ -87,7 +105,17 @@ int usage() {
                "  --jobs    worker processes for the sweep (default 1;"
                " protocol fast|star or --engine wellmixed)\n"
                "  --save-artifact / --load-artifact  serialize / rebuild the"
-               " prepared sweep (src/fleet/)\n");
+               " prepared sweep (src/fleet/)\n"
+               "  --journal FILE  spool every completed trial to a crash-safe"
+               " .ppaj journal as it streams in\n"
+               "  --resume  replay --journal FILE first and run only the"
+               " missing trials\n"
+               "  --retries N  worker kill-and-respawn budget for the sweep"
+               " (default 2)\n"
+               "  --worker-timeout-ms N  kill a worker silent for N ms and"
+               " respawn it (default: no timeout)\n"
+               "  --inject-fault SPECS  deterministic worker faults, comma-"
+               "separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]\n");
   return 2;
 }
 
@@ -106,6 +134,31 @@ struct cli_config {
   std::uint64_t jobs = 1;
   std::string save_path;
   std::string load_path;
+  std::string journal_path;
+  bool resume = false;
+  std::uint64_t retries = 2;
+  bool retries_requested = false;
+  std::uint64_t worker_timeout_ms = 0;
+  std::vector<pp::fleet::fault_spec> faults;
+
+  // Any supervision flag routes the sweep through the fault-tolerant
+  // supervisor (fleet/supervisor.h) even at --jobs 1, so journaling and
+  // resume work for serial sweeps too.
+  bool supervised() const {
+    return !journal_path.empty() || resume || retries_requested ||
+           worker_timeout_ms > 0 || !faults.empty();
+  }
+
+  pp::fleet::supervise_options supervision() const {
+    pp::fleet::supervise_options sup;
+    sup.worker_timeout_ms = static_cast<int>(worker_timeout_ms);
+    sup.max_retries = static_cast<int>(retries);
+    sup.journal_path = journal_path;
+    sup.resume = resume;
+    sup.journal_tag = seed;
+    sup.faults = faults;
+    return sup;
+  }
 };
 
 // Parses the optional flags from argv[start..).  Returns false — after
@@ -167,9 +220,57 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
         std::fprintf(stderr, "popsim: --load-artifact needs a file path\n");
         return false;
       }
+    } else if (flag == "--journal" && i + 1 < argc) {
+      cfg.journal_path = argv[++i];
+      if (cfg.journal_path.empty()) {
+        std::fprintf(stderr, "popsim: --journal needs a file path\n");
+        return false;
+      }
+    } else if (flag == "--resume") {
+      cfg.resume = true;
+    } else if (flag == "--retries" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.retries) || cfg.retries > 1000) {
+        std::fprintf(stderr, "popsim: --retries must be in [0, 1000]\n");
+        return false;
+      }
+      cfg.retries_requested = true;
+    } else if (flag == "--worker-timeout-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.worker_timeout_ms) ||
+          cfg.worker_timeout_ms < 1 || cfg.worker_timeout_ms > 3'600'000) {
+        std::fprintf(stderr,
+                     "popsim: --worker-timeout-ms must be in [1, 3600000]\n");
+        return false;
+      }
+    } else if (flag == "--inject-fault" && i + 1 < argc) {
+      const std::string specs = argv[++i];
+      if (!pp::fleet::parse_fault_specs(specs, cfg.faults)) {
+        std::fprintf(stderr,
+                     "popsim: bad --inject-fault '%s' (want comma-separated "
+                     "<exit|sigkill|stall|torn>:w<slot>[:after=<n>])\n",
+                     specs.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr, "popsim: unknown or incomplete flag '%s'\n",
                    flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Cross-flag validation shared by the classic and artifact entry points.
+bool validate_fleet_flags(const cli_config& cfg) {
+  if (cfg.resume && cfg.journal_path.empty()) {
+    std::fprintf(stderr, "popsim: --resume needs --journal\n");
+    return false;
+  }
+  for (const pp::fleet::fault_spec& f : cfg.faults) {
+    if (static_cast<std::uint64_t>(f.worker) >= cfg.jobs) {
+      std::fprintf(stderr,
+                   "popsim: --inject-fault names worker slot w%d beyond the "
+                   "%llu-worker fleet\n",
+                   f.worker, static_cast<unsigned long long>(cfg.jobs));
       return false;
     }
   }
@@ -203,12 +304,16 @@ class temp_file {
 };
 
 // Shards the sweep described by (artifact, cfg) across cfg.jobs worker
-// subprocesses of this binary and merges their record streams.  The merged
+// subprocesses of this binary and merges their record streams under the
+// fault-tolerant supervisor (fleet/supervisor.h): crashed workers are
+// respawned, journaling/resume apply when requested, and `inline_fn` runs
+// leftover trials in-process once the retry budget is spent.  The merged
 // summary is identical to the serial one (fleet/sweep.h); worker accounting
 // goes to stderr so serial and fleet stdout stay diffable.
 pp::election_summary run_fleet(const std::string& artifact_path,
                                const cli_config& cfg, const char* argv0,
-                               const pp::sim_options& options) {
+                               const pp::sim_options& options,
+                               const pp::fleet::trial_fn& inline_fn) {
   pp::fleet::worker_manifest manifest;
   manifest.artifact_path = artifact_path;
   manifest.seed = cfg.seed;
@@ -221,8 +326,9 @@ pp::election_summary run_fleet(const std::string& artifact_path,
   std::fprintf(stderr, "popsim: fleet sweep, %d workers x %llu-trial blocks\n",
                manifest.jobs,
                static_cast<unsigned long long>(cfg.trials / cfg.jobs));
-  const auto results = pp::fleet::spawn_worker_sweep(
-      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest);
+  const auto results = pp::fleet::supervised_spawn_sweep(
+      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest,
+      cfg.supervision(), inline_fn);
   return pp::summarize_election_results(results);
 }
 
@@ -265,7 +371,8 @@ int run_wellmixed_mode(const P& proto, std::uint64_t n, const cli_config& cfg,
   pp::election_summary summary;
   std::string artifact_path = loaded_path;
   std::optional<temp_file> temp_artifact;
-  if (artifact_path.empty() && (cfg.jobs > 1 || !cfg.save_path.empty())) {
+  if (artifact_path.empty() &&
+      (cfg.jobs > 1 || cfg.supervised() || !cfg.save_path.empty())) {
     const auto initial = pp::initial_multiset(proto, n);
     pp::fleet::protocol_desc desc;
     if constexpr (std::is_same_v<P, pp::fast_protocol>) {
@@ -281,8 +388,15 @@ int run_wellmixed_mode(const P& proto, std::uint64_t n, const cli_config& cfg,
     }
     pp::fleet::save_artifact(artifact, artifact_path);
   }
-  if (cfg.jobs > 1) {
-    summary = run_fleet(artifact_path, cfg, argv0, options);
+  if (cfg.jobs > 1 || cfg.supervised()) {
+    // Degraded-mode fallback: the sweep object is built lazily so the happy
+    // path (no worker ever exhausts the retry budget) pays nothing for it.
+    std::optional<pp::wellmixed_sweep<P>> sweep_cache;
+    const pp::fleet::trial_fn inline_fn = [&](std::uint64_t, pp::rng gen) {
+      if (!sweep_cache) sweep_cache.emplace(proto, n);
+      return sweep_cache->run(gen, options);
+    };
+    summary = run_fleet(artifact_path, cfg, argv0, options, inline_fn);
   } else {
     summary = pp::measure_election_wellmixed(proto, n, trial_count, seed.fork(2));
   }
@@ -338,7 +452,8 @@ int run_tuned_mode(const pp::tuned_runner<P>& runner,
 
   std::string artifact_path = loaded_path;
   std::optional<temp_file> temp_artifact;
-  if (artifact_path.empty() && (cfg.jobs > 1 || !cfg.save_path.empty())) {
+  if (artifact_path.empty() &&
+      (cfg.jobs > 1 || cfg.supervised() || !cfg.save_path.empty())) {
     const auto artifact = pp::fleet::make_tuned_artifact(runner, g, family, desc);
     artifact_path = cfg.save_path;
     if (artifact_path.empty()) {
@@ -347,8 +462,11 @@ int run_tuned_mode(const pp::tuned_runner<P>& runner,
     pp::fleet::save_artifact(artifact, artifact_path);
   }
   pp::election_summary summary;
-  if (cfg.jobs > 1) {
-    summary = run_fleet(artifact_path, cfg, argv0, options);
+  if (cfg.jobs > 1 || cfg.supervised()) {
+    const pp::fleet::trial_fn inline_fn = [&](std::uint64_t, pp::rng gen) {
+      return runner.run(gen, options);
+    };
+    summary = run_fleet(artifact_path, cfg, argv0, options, inline_fn);
   } else {
     summary = pp::measure_election_tuned(runner, trial_count, seed.fork(2), options);
   }
@@ -363,12 +481,18 @@ int run_tuned_mode(const pp::tuned_runner<P>& runner,
   return 0;
 }
 
-// popsim --worker MANIFEST INDEX: load the manifest + artifact, rebuild and
-// validate the sweep, and stream this worker's trial block to stdout as
-// length-prefixed records.  Nothing else may touch stdout here.
+// popsim --worker MANIFEST INDEX [BASE COUNT [FAULTS]]: load the manifest +
+// artifact, rebuild and validate the sweep, and stream a trial block to
+// stdout as length-prefixed records.  Nothing else may touch stdout here.
+// The 2-argument form runs the worker_range block of a plain fleet sweep;
+// the supervisor (fleet/supervisor.h) passes an explicit [BASE, BASE+COUNT)
+// range — reassigned chunks are arbitrary — and, for a slot's first
+// worker only, a fault spec list to inject.
 int worker_main(int argc, char** argv) {
-  if (argc != 4) {
-    std::fprintf(stderr, "popsim: --worker needs <manifest> <index>\n");
+  if (argc != 4 && argc != 6 && argc != 7) {
+    std::fprintf(stderr,
+                 "popsim: --worker needs <manifest> <index> "
+                 "[<base> <count> [<faults>]]\n");
     return 2;
   }
   std::uint64_t index = 0;
@@ -376,10 +500,35 @@ int worker_main(int argc, char** argv) {
     std::fprintf(stderr, "popsim: --worker index must be a non-negative integer\n");
     return 2;
   }
+  std::uint64_t base = 0;
+  std::uint64_t count = 0;
+  if (argc >= 6 &&
+      (!parse_u64(argv[4], base) || !parse_u64(argv[5], count))) {
+    std::fprintf(stderr,
+                 "popsim: --worker base/count must be non-negative integers\n");
+    return 2;
+  }
+  std::vector<pp::fleet::fault_spec> faults;
+  if (argc == 7 && !pp::fleet::parse_fault_specs(argv[6], faults)) {
+    std::fprintf(stderr, "popsim: --worker got a malformed fault spec list\n");
+    return 2;
+  }
   try {
+    // A worker whose supervisor died mid-sweep must fail loudly (EPIPE ->
+    // stderr + exit 1), not die silently of SIGPIPE.
+    pp::fleet::ignore_sigpipe();
     const auto manifest = pp::fleet::read_manifest(argv[2]);
     pp::expects(index < static_cast<std::uint64_t>(manifest.jobs),
                 "popsim --worker: index exceeds the manifest's job count");
+    if (argc >= 6) {
+      pp::expects(base <= manifest.trials && count <= manifest.trials - base,
+                  "popsim --worker: trial range exceeds the manifest's trials");
+    }
+    const pp::fleet::trial_range range =
+        argc >= 6 ? pp::fleet::trial_range{base, count}
+                  : pp::fleet::worker_range(manifest.trials, manifest.jobs,
+                                            static_cast<int>(index));
+    const pp::fleet::fault_injector injector(faults, static_cast<int>(index));
     const auto artifact = pp::fleet::load_artifact(manifest.artifact_path);
     pp::sim_options options;
     options.max_steps = manifest.max_steps;
@@ -387,7 +536,6 @@ int worker_main(int argc, char** argv) {
     // Trial t of the sweep uses rng(seed).fork(2).fork(t) — the exact
     // generator the serial measure_election_* call hands it.
     const pp::rng trial_gen = pp::rng(manifest.seed).fork(2);
-    const int w = static_cast<int>(index);
 
     if (artifact.engine == pp::fleet::artifact_engine::tuned) {
       pp::expects(artifact.graph.has_value(),
@@ -396,10 +544,10 @@ int worker_main(int argc, char** argv) {
       with_artifact_protocol(artifact.protocol, [&]<typename P>(const P& proto) {
         const pp::tuned_runner<P> runner(proto, g, pp::fleet::tuning_of(artifact));
         pp::fleet::validate_tuned_artifact(artifact, runner);
-        pp::fleet::run_worker_block(
-            manifest, w, STDOUT_FILENO,
+        pp::fleet::run_trial_block(
+            range, STDOUT_FILENO,
             [&](std::uint64_t, pp::rng gen) { return runner.run(gen, options); },
-            trial_gen);
+            trial_gen, injector);
       });
       return 0;
     }
@@ -410,10 +558,10 @@ int worker_main(int argc, char** argv) {
     const auto run_wm = [&]<typename P>(const P& proto) {
       const pp::wellmixed_sweep<P> sweep(proto, n);
       pp::fleet::validate_wellmixed_artifact(artifact, proto, sweep.initial());
-      pp::fleet::run_worker_block(
-          manifest, w, STDOUT_FILENO,
+      pp::fleet::run_trial_block(
+          range, STDOUT_FILENO,
           [&](std::uint64_t, pp::rng gen) { return sweep.run(gen, options); },
-          trial_gen);
+          trial_gen, injector);
     };
     if (artifact.protocol.kind == pp::fleet::protocol_kind::fast) {
       run_wm(pp::fast_protocol(pp::fleet::fast_params_of(artifact.protocol)));
@@ -474,6 +622,7 @@ int main(int argc, char** argv) {
       // Flag-only invocation: the sweep comes from an artifact.
       cli_config cfg;
       if (!parse_flags(argc, argv, 1, cfg)) return usage();
+      if (!validate_fleet_flags(cfg)) return usage();
       if (cfg.load_path.empty()) return usage();
       if (cfg.engine_requested || cfg.tuning_requested) {
         std::fprintf(stderr,
@@ -496,6 +645,7 @@ int main(int argc, char** argv) {
 
     cli_config cfg;
     if (!parse_flags(argc, argv, 4, cfg)) return usage();
+    if (!validate_fleet_flags(cfg)) return usage();
     if (!cfg.load_path.empty()) {
       std::fprintf(stderr,
                    "popsim: --load-artifact replaces the positional "
@@ -543,10 +693,12 @@ int main(int argc, char** argv) {
                    "protocol fast or star\n");
       return usage();
     }
-    if ((cfg.jobs > 1 || !cfg.save_path.empty()) && !compiled_engine) {
+    if ((cfg.jobs > 1 || cfg.supervised() || !cfg.save_path.empty()) &&
+        !compiled_engine) {
       std::fprintf(stderr,
-                   "popsim: --jobs/--save-artifact need the compiled engine "
-                   "(protocol fast or star, or --engine wellmixed)\n");
+                   "popsim: --jobs/--save-artifact/--journal/--inject-fault "
+                   "need the compiled engine (protocol fast or star, or "
+                   "--engine wellmixed)\n");
       return usage();
     }
 

@@ -13,6 +13,7 @@
 #include "dynamics/epidemic.h"
 #include "engine/engine.h"
 #include "engine/wellmixed/wellmixed.h"
+#include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -130,6 +131,24 @@ election_summary measure_election_fleet(const tuned_runner<P>& runner,
       [&](std::uint64_t, rng gen) { return runner.run(gen, options); }, jobs));
 }
 
+// Fault-tolerant variant: as measure_election_fleet, but under the sweep
+// supervisor (fleet/supervisor.h) — crashed, hung or misbehaving workers are
+// killed and respawned with their incomplete trials, completed trials can be
+// journaled/resumed, and deterministic faults can be injected.  Trial t still
+// runs seed_gen.fork(t) wherever it lands, so the summary stays byte-identical
+// to the serial sweep through every recovery path.
+template <compilable_protocol P>
+election_summary measure_election_fleet(const tuned_runner<P>& runner,
+                                        int trials, rng seed_gen,
+                                        const sim_options& options,
+                                        int jobs,
+                                        const fleet::supervise_options& sup) {
+  return summarize_election_results(fleet::supervised_fleet_run(
+      static_cast<std::uint64_t>(trials), seed_gen,
+      [&](std::uint64_t, rng gen) { return runner.run(gen, options); }, jobs,
+      sup));
+}
+
 // Process-sharded counterpart of measure_election_wellmixed.  The well-mixed
 // engine is deterministic per (seed, batch size), so the fleet merge is also
 // byte-identical to the serial sweep — stronger than the engine's 3σ
@@ -143,6 +162,20 @@ election_summary measure_election_fleet_wellmixed(const P& proto, std::uint64_t 
   return summarize_election_results(fleet::fleet_run(
       static_cast<std::uint64_t>(trials), seed_gen,
       [&](std::uint64_t, rng gen) { return sweep.run(gen, options); }, jobs));
+}
+
+// Fault-tolerant variant of measure_election_fleet_wellmixed (see the tuned
+// overload above for the recovery semantics).
+template <node_census_protocol P>
+election_summary measure_election_fleet_wellmixed(
+    const P& proto, std::uint64_t n, int trials, rng seed_gen,
+    const sim_options& options, int jobs,
+    const fleet::supervise_options& sup) {
+  const wellmixed_sweep<P> sweep(proto, n);
+  return summarize_election_results(fleet::supervised_fleet_run(
+      static_cast<std::uint64_t>(trials), seed_gen,
+      [&](std::uint64_t, rng gen) { return sweep.run(gen, options); }, jobs,
+      sup));
 }
 
 // One tuned election (single-run convenience over tuned_runner; callers that

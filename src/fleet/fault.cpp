@@ -1,0 +1,136 @@
+#include "fleet/fault.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "fleet/sweep.h"
+#include "support/parse.h"
+
+namespace pp::fleet {
+
+namespace {
+
+const char* kind_name(fault_kind kind) {
+  switch (kind) {
+    case fault_kind::exit: return "exit";
+    case fault_kind::sigkill: return "sigkill";
+    case fault_kind::stall: return "stall";
+    case fault_kind::torn: return "torn";
+  }
+  return "?";
+}
+
+bool parse_kind(const std::string& name, fault_kind& out) {
+  if (name == "exit") out = fault_kind::exit;
+  else if (name == "sigkill") out = fault_kind::sigkill;
+  else if (name == "stall") out = fault_kind::stall;
+  else if (name == "torn") out = fault_kind::torn;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+bool parse_fault_spec(const std::string& text, fault_spec& out) {
+  const std::size_t c1 = text.find(':');
+  if (c1 == std::string::npos) return false;
+  fault_spec spec;
+  if (!parse_kind(text.substr(0, c1), spec.kind)) return false;
+  const std::size_t c2 = text.find(':', c1 + 1);
+  const std::string worker =
+      text.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                  : c2 - c1 - 1);
+  if (worker.size() < 2 || worker[0] != 'w') return false;
+  std::uint64_t slot = 0;
+  if (!parse_u64(worker.c_str() + 1, slot) || slot > 100000) return false;
+  spec.worker = static_cast<int>(slot);
+  if (c2 != std::string::npos) {
+    const std::string tail = text.substr(c2 + 1);
+    if (tail.rfind("after=", 0) != 0) return false;
+    if (!parse_u64(tail.c_str() + 6, spec.after)) return false;
+  }
+  out = spec;
+  return true;
+}
+
+bool parse_fault_specs(const std::string& text, std::vector<fault_spec>& out) {
+  std::vector<fault_spec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string one =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    fault_spec spec;
+    if (!parse_fault_spec(one, spec)) return false;
+    specs.push_back(spec);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (specs.empty()) return false;
+  out = std::move(specs);
+  return true;
+}
+
+std::string to_string(const fault_spec& spec) {
+  return std::string(kind_name(spec.kind)) + ":w" + std::to_string(spec.worker) +
+         ":after=" + std::to_string(spec.after);
+}
+
+std::string to_string(const std::vector<fault_spec>& specs) {
+  std::string joined;
+  for (const fault_spec& spec : specs) {
+    if (!joined.empty()) joined += ',';
+    joined += to_string(spec);
+  }
+  return joined;
+}
+
+fault_injector::fault_injector(const std::vector<fault_spec>& specs, int worker) {
+  for (const fault_spec& spec : specs) {
+    if (spec.worker == worker) {
+      spec_ = spec;
+      armed_ = true;
+      return;  // at most one fault per slot: first spec wins
+    }
+  }
+}
+
+void fault_injector::before_record(int fd, std::uint64_t written) const {
+  if (!armed_ || written != spec_.after) return;
+  switch (spec_.kind) {
+    case fault_kind::exit:
+      std::fprintf(stderr, "fleet fault: worker w%d injected nonzero exit\n",
+                   spec_.worker);
+      ::_exit(9);
+    case fault_kind::sigkill:
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(9);  // unreachable; SIGKILL cannot be handled
+    case fault_kind::stall: {
+      std::fprintf(stderr, "fleet fault: worker w%d injected stall\n",
+                   spec_.worker);
+      // Hang until the supervisor's timeout kills us — but bail out if the
+      // parent itself dies (reparenting changes getppid), so an aborted test
+      // or a killed sweep never leaves a stalled orphan behind.
+      const pid_t parent = ::getppid();
+      while (::getppid() == parent) ::usleep(20000);
+      ::_exit(9);
+    }
+    case fault_kind::torn: {
+      std::fprintf(stderr, "fleet fault: worker w%d injected torn record\n",
+                   spec_.worker);
+      // A plausible record length followed by half a payload: exactly what a
+      // worker killed mid-write leaves in the pipe.
+      const std::uint32_t length = kTrialRecordPayload;
+      std::uint8_t buf[4 + kTrialRecordPayload / 2] = {};
+      std::memcpy(buf, &length, sizeof(length));
+      [[maybe_unused]] const ssize_t n = ::write(fd, buf, sizeof(buf));
+      ::_exit(9);
+    }
+  }
+}
+
+}  // namespace pp::fleet

@@ -1,0 +1,72 @@
+// Deterministic fault injection for fleet workers: every recovery branch of
+// the sweep supervisor (supervisor.h) must be exercisable from tests and CI,
+// not just believed, so faults are injected *by spec* at an exact point in a
+// worker's record stream instead of sampled.
+//
+// Spec grammar (one spec; lists are comma-separated):
+//
+//   <kind>:w<slot>[:after=<n>]
+//
+//   kind   exit    | worker _exits nonzero after n records
+//          sigkill | worker raises SIGKILL after n records (a crash)
+//          stall   | worker stops writing after n records (hangs until the
+//                  | supervisor's inactivity timeout kills it; also exits on
+//                  | its own if the parent dies, so no orphan lingers)
+//          torn    | worker writes a partial record after n records and dies
+//                  | (the classic died-mid-write tear)
+//   slot   supervisor worker-slot index the fault applies to
+//   after  records written before the fault fires (default 0)
+//
+// The supervisor injects faults only into a slot's *first* worker process;
+// respawned workers run clean, so a fault spec exercises exactly one
+// failure + one recovery.  Trial determinism (trial t always runs
+// seed_gen.fork(t)) guarantees the recovered sweep is byte-identical to a
+// serial one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pp::fleet {
+
+enum class fault_kind : std::uint8_t { exit, sigkill, stall, torn };
+
+struct fault_spec {
+  fault_kind kind = fault_kind::exit;
+  int worker = 0;           // supervisor slot index
+  std::uint64_t after = 0;  // records written before the fault fires
+
+  friend bool operator==(const fault_spec&, const fault_spec&) = default;
+};
+
+// Strict parse of one spec / a comma-separated list; returns false (leaving
+// `out` unspecified) on any malformed input — unknown kind, bad slot, bad
+// count, trailing garbage.
+bool parse_fault_spec(const std::string& text, fault_spec& out);
+bool parse_fault_specs(const std::string& text, std::vector<fault_spec>& out);
+
+// Inverse of parse: `parse_fault_spec(to_string(s)) == s`.  Used to hand a
+// spec list to `popsim --worker` subprocesses on their command line.
+std::string to_string(const fault_spec& spec);
+std::string to_string(const std::vector<fault_spec>& specs);
+
+// Worker-side applier: fires the matching fault at the exact record count.
+// Constructed in the worker process from the spec list and the worker's
+// slot; `before_record(fd, written)` is called before writing each record
+// with the number already written.  exit/sigkill/stall never return when
+// they fire; torn writes a partial record to `fd` and _exits.
+class fault_injector {
+ public:
+  fault_injector() = default;
+  fault_injector(const std::vector<fault_spec>& specs, int worker);
+
+  void before_record(int fd, std::uint64_t written) const;
+  bool armed() const { return armed_; }
+
+ private:
+  fault_spec spec_;
+  bool armed_ = false;
+};
+
+}  // namespace pp::fleet

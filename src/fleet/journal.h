@@ -1,0 +1,97 @@
+// Crash-safe per-trial result journal (.ppaj): an append-only spool of
+// completed trial records, written by the sweep supervisor as results
+// stream in, so a sweep killed at any instant can be resumed from the
+// trials that already finished instead of restarted from zero.
+//
+// File layout (all integers native-endian, same policy as the .ppaf
+// artifact container):
+//
+//   offset  size  field
+//   0       4     magic ("PPAJ" on little-endian disks)
+//   4       4     endianness tag 0x01020304
+//   8       4     format version (kJournalVersion)
+//   12      4     reserved (0)
+//   16      8     sweep tag (the master seed; binds a journal to its sweep)
+//   24      8     total trial count of the sweep
+//   32      ...   records: {u32 payload length, payload, u64 FNV-1a of payload}
+//
+// The record payload is exactly the fleet pipe protocol's encoding
+// (sweep.h encode_trial_record, kTrialRecordPayload bytes), so the journal
+// and the pipe can never drift.  Each record carries its own FNV-1a 64
+// checksum — the same hash as the .ppaf header.
+//
+// Replay tolerance (the crash contract):
+//   * a torn tail — the writer died mid-record — is silently ignored and
+//     truncated away before the next append, so resuming after `kill -9`
+//     always works;
+//   * a record whose checksum fails (bit rot, partial overwrite) is
+//     *skipped*, not fatal: the framing is fixed-size, so replay continues
+//     at the next record and the damaged trial simply re-runs;
+//   * a broken frame (length field != kTrialRecordPayload) ends the replay
+//     at that offset — everything before it is kept, everything after is
+//     untrusted and re-runs.
+//
+// Determinism makes all of this safe: trial t always runs seed_gen.fork(t),
+// so a re-run produces the byte-identical record, and duplicate records for
+// one trial (a crash between append and bookkeeping) are harmless
+// (last-wins on replay).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/sweep.h"
+
+namespace pp::fleet {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4A415050;  // "PPAJ"
+inline constexpr std::uint32_t kJournalEndianTag = 0x01020304;
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+// Sweep identity stored in the header: resuming against a journal written
+// for a different (seed, trials) pair fails loudly instead of merging two
+// unrelated sweeps.
+struct journal_header {
+  std::uint64_t tag = 0;     // master seed of the sweep
+  std::uint64_t trials = 0;  // total trials of the sweep
+
+  friend bool operator==(const journal_header&, const journal_header&) = default;
+};
+
+// Everything a replay recovers from a journal file.
+struct journal_replay {
+  journal_header header;
+  std::vector<trial_record> records;  // checksum-valid records, file order
+  std::uint64_t corrupt_records = 0;  // checksum-failed records skipped
+  bool torn_tail = false;             // incomplete/broken trailing bytes ignored
+  std::uint64_t durable_bytes = 0;    // offset after the last well-framed record
+};
+
+// Parses `path`, validating the header (magic, endianness, version) and
+// every record checksum; tolerant of torn tails and corrupt records as
+// described above.  Throws std::invalid_argument on a missing file or a
+// file that is not a journal at all.
+journal_replay replay_journal(const std::string& path);
+
+// Appends trial records to a journal file, one write(2) per record so a
+// killed writer tears at most the final record.
+class journal_writer {
+ public:
+  // resume == false: create/truncate and write a fresh header.
+  // resume == true: validate the existing file's header against `header`,
+  // truncate any torn tail, and append after the last well-framed record
+  // (a missing or empty file is initialized fresh).
+  journal_writer(const std::string& path, const journal_header& header,
+                 bool resume);
+  ~journal_writer();
+  journal_writer(const journal_writer&) = delete;
+  journal_writer& operator=(const journal_writer&) = delete;
+
+  void append(const trial_record& record);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pp::fleet

@@ -1,0 +1,519 @@
+#include "fleet/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "support/expects.h"
+
+namespace pp::fleet {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+std::int64_t ms_until(steady_clock::time_point when) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             when - steady_clock::now())
+      .count();
+}
+
+// One supervised worker slot.  `chunk` is the contiguous trial range the
+// current (or next, while backing off) worker owns; `done` counts the
+// records already received for it, so the outstanding remainder is always
+// {chunk.base + done, chunk.count - done}.
+struct slot_state {
+  pid_t pid = -1;
+  int fd = -1;
+  std::vector<std::uint8_t> buf;  // unparsed pipe bytes
+  trial_range chunk{0, 0};
+  std::uint64_t done = 0;
+  steady_clock::time_point last_activity;
+  steady_clock::time_point respawn_at;
+  int attempts = 0;         // respawns already spent on this chunk
+  bool running = false;
+  bool waiting = false;     // backing off before a respawn
+  bool ever_launched = false;  // faults are injected on a slot's first launch only
+};
+
+// Error-path teardown: any exit from the supervisor (including a throw)
+// SIGKILLs and reaps every still-running worker, so no path leaks zombies.
+struct slot_reaper {
+  std::vector<slot_state>* slots;
+  ~slot_reaper() {
+    for (slot_state& s : *slots) {
+      if (s.fd >= 0) {
+        ::close(s.fd);
+        s.fd = -1;
+      }
+      if (s.pid >= 0) {
+        ::kill(s.pid, SIGKILL);
+        while (::waitpid(s.pid, nullptr, 0) < 0 && errno == EINTR) {
+        }
+        s.pid = -1;
+      }
+    }
+  }
+};
+
+// Splits the not-yet-completed trials into contiguous chunks of roughly
+// pending/jobs trials each (a chunk never spans a completed trial, so after
+// a resume the queue covers exactly the journal's gaps).
+std::deque<trial_range> chunk_pending(const std::vector<std::uint8_t>& received,
+                                      std::uint64_t trials, int jobs) {
+  std::vector<trial_range> runs;
+  std::uint64_t pending = 0;
+  for (std::uint64_t t = 0; t < trials;) {
+    if (received[t]) {
+      ++t;
+      continue;
+    }
+    const std::uint64_t base = t;
+    while (t < trials && !received[t]) ++t;
+    runs.push_back({base, t - base});
+    pending += t - base;
+  }
+  std::deque<trial_range> queue;
+  if (pending == 0) return queue;
+  const std::uint64_t target =
+      (pending + static_cast<std::uint64_t>(jobs) - 1) /
+      static_cast<std::uint64_t>(jobs);
+  for (const trial_range& run : runs) {
+    std::uint64_t base = run.base;
+    std::uint64_t left = run.count;
+    while (left > 0) {
+      const std::uint64_t count = std::min(left, target);
+      queue.push_back({base, count});
+      base += count;
+      left -= count;
+    }
+  }
+  return queue;
+}
+
+// Launches one worker for `chunk` in slot `slot`; `inject` asks for fault
+// injection (first-generation workers only).  `open_fds` are the parent's
+// currently open pipe read ends, which the child must close.
+using launch_fn = std::function<child_guard::child(
+    int slot, trial_range chunk, bool inject, const std::vector<int>& open_fds)>;
+
+// The shared supervision core of the fork and exec drivers.
+std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
+                                       int jobs,
+                                       const supervise_options& options,
+                                       const launch_fn& launch,
+                                       const trial_fn& inline_fn,
+                                       const char* what) {
+  expects(jobs >= 1, std::string(what) + ": jobs must be >= 1");
+  expects(options.max_retries >= 0, std::string(what) + ": max_retries must be >= 0");
+  for (const fault_spec& f : options.faults) {
+    expects(f.worker >= 0 && f.worker < jobs,
+            std::string(what) + ": fault spec names worker slot w" +
+                std::to_string(f.worker) + " beyond the " +
+                std::to_string(jobs) + "-worker fleet");
+  }
+  expects(!options.resume || !options.journal_path.empty(),
+          std::string(what) + ": resume needs a journal path");
+
+  std::vector<election_result> results(trials);
+  std::vector<std::uint8_t> received(trials, 0);
+  std::uint64_t completed = 0;
+
+  std::optional<journal_writer> journal;
+  if (!options.journal_path.empty()) {
+    const journal_header header{options.journal_tag, trials};
+    if (options.resume) {
+      const journal_replay replay = replay_journal(options.journal_path);
+      expects(replay.header == header,
+              std::string(what) + ": " + options.journal_path +
+                  " belongs to a different sweep (seed/trials mismatch)");
+      for (const trial_record& r : replay.records) {
+        if (!received[r.trial]) ++completed;
+        received[r.trial] = 1;       // determinism: a re-run record is identical,
+        results[r.trial] = r.result; // so last-wins replay is safe
+      }
+      std::fprintf(stderr,
+                   "fleet supervisor: resumed %llu/%llu trial(s) from %s"
+                   "%s%s\n",
+                   static_cast<unsigned long long>(completed),
+                   static_cast<unsigned long long>(trials),
+                   options.journal_path.c_str(),
+                   replay.corrupt_records > 0 ? " (skipped corrupt records)" : "",
+                   replay.torn_tail ? " (truncated torn tail)" : "");
+    }
+    journal.emplace(options.journal_path, header, options.resume);
+  }
+
+  auto deliver = [&](std::uint64_t t, const election_result& r) {
+    if (!received[t]) ++completed;
+    received[t] = 1;
+    results[t] = r;
+    if (journal) journal->append({t, r});
+  };
+
+  std::deque<trial_range> queue = chunk_pending(received, trials, jobs);
+  const int nslots = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(jobs), queue.size()));
+  std::vector<slot_state> slots(static_cast<std::size_t>(nslots));
+  slot_reaper reaper{&slots};
+  int retries_used = 0;
+  bool degraded = false;
+  std::vector<trial_range> leftover;  // chunks to run inline once degraded
+
+  auto open_read_fds = [&]() {
+    std::vector<int> fds;
+    for (const slot_state& s : slots) {
+      if (s.fd >= 0) fds.push_back(s.fd);
+    }
+    return fds;
+  };
+
+  auto start_worker = [&](int i, trial_range chunk) {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    const bool inject = !s.ever_launched && !options.faults.empty();
+    const child_guard::child c = launch(i, chunk, inject, open_read_fds());
+    s.ever_launched = true;
+    s.pid = c.pid;
+    s.fd = c.read_fd;
+    const int flags = ::fcntl(s.fd, F_GETFL, 0);
+    ensure(flags >= 0 && ::fcntl(s.fd, F_SETFL, flags | O_NONBLOCK) == 0,
+           std::string(what) + ": cannot make a worker pipe non-blocking");
+    s.buf.clear();
+    s.chunk = chunk;
+    s.done = 0;
+    s.running = true;
+    s.waiting = false;
+    s.last_activity = steady_clock::now();
+  };
+
+  // Kills (if alive) and reaps slot i's worker, then routes its outstanding
+  // trials: respawn after backoff while the retry budget lasts, else switch
+  // the sweep into degraded mode and queue the remainder for inline
+  // execution.
+  auto fail_slot = [&](int i, const char* why) {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    if (s.fd >= 0) {
+      ::close(s.fd);
+      s.fd = -1;
+    }
+    if (s.pid >= 0) {
+      ::kill(s.pid, SIGKILL);
+      while (::waitpid(s.pid, nullptr, 0) < 0 && errno == EINTR) {
+      }
+      s.pid = -1;
+    }
+    s.buf.clear();  // a partial trailing record is torn: discard it
+    s.running = false;
+    const trial_range rest{s.chunk.base + s.done, s.chunk.count - s.done};
+    if (rest.count == 0) {
+      // Every assigned trial arrived before the worker died: nothing to redo.
+      s.waiting = false;
+      return;
+    }
+    if (!degraded && retries_used < options.max_retries) {
+      ++retries_used;
+      ++s.attempts;
+      s.chunk = rest;
+      s.done = 0;
+      s.waiting = true;
+      std::int64_t delay = options.backoff_initial_ms;
+      for (int a = 1; a < s.attempts && delay < options.backoff_max_ms; ++a) {
+        delay *= 2;
+      }
+      delay = std::min<std::int64_t>(delay, options.backoff_max_ms);
+      s.respawn_at = steady_clock::now() + std::chrono::milliseconds(delay);
+      std::fprintf(stderr,
+                   "fleet supervisor: worker slot %d failed (%s), %llu trial(s) "
+                   "outstanding; respawning in %lld ms (retry %d/%d)\n",
+                   i, why, static_cast<unsigned long long>(rest.count),
+                   static_cast<long long>(delay), retries_used,
+                   options.max_retries);
+    } else {
+      degraded = true;
+      leftover.push_back(rest);
+      s.waiting = false;
+      std::fprintf(stderr,
+                   "fleet supervisor: worker slot %d failed (%s) with the retry "
+                   "budget exhausted; %llu trial(s) will run inline\n",
+                   i, why, static_cast<unsigned long long>(rest.count));
+    }
+  };
+
+  // Parses complete records off slot i's buffer.  Returns false on a
+  // protocol violation (bad length, out-of-order or duplicate trial) — the
+  // worker is then failed, keeping the valid prefix.
+  auto parse_buffer = [&](int i) -> bool {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    std::size_t off = 0;
+    bool ok = true;
+    while (s.buf.size() - off >= 4) {
+      std::uint32_t length = 0;
+      std::memcpy(&length, s.buf.data() + off, 4);
+      if (length != kTrialRecordPayload) {
+        ok = false;
+        break;
+      }
+      if (s.buf.size() - off < 4ull + length) break;
+      const trial_record r = decode_trial_record(s.buf.data() + off + 4);
+      if (r.trial != s.chunk.base + s.done || received[r.trial]) {
+        ok = false;
+        break;
+      }
+      deliver(r.trial, r.result);
+      ++s.done;
+      off += 4ull + length;
+    }
+    s.buf.erase(s.buf.begin(),
+                s.buf.begin() + static_cast<std::ptrdiff_t>(off));
+    return ok;
+  };
+
+  auto handle_eof = [&](int i) {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    ::close(s.fd);
+    s.fd = -1;
+    int status = 0;
+    while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    s.pid = -1;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    const bool complete = s.done == s.chunk.count && s.buf.empty();
+    if (complete) {
+      // All assigned trials arrived; a nonzero exit after the last record
+      // (e.g. an injected exit fault) costs nothing.
+      s.running = false;
+      s.waiting = false;
+      return;
+    }
+    fail_slot(i, clean ? "stream ended early"
+                       : "worker exited abnormally");
+  };
+
+  auto read_slot = [&](int i) {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    bool eof = false;
+    std::uint8_t buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(s.fd, buf, sizeof(buf));
+      if (n > 0) {
+        s.buf.insert(s.buf.end(), buf, buf + n);
+        s.last_activity = steady_clock::now();
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail_slot(i, "pipe read error");
+      return;
+    }
+    if (!parse_buffer(i)) {
+      fail_slot(i, "record protocol violation");
+      return;
+    }
+    if (eof) handle_eof(i);
+  };
+
+  while (true) {
+    if (degraded) {
+      while (!queue.empty()) {
+        leftover.push_back(queue.front());
+        queue.pop_front();
+      }
+    } else {
+      for (int i = 0; i < nslots && !queue.empty(); ++i) {
+        slot_state& s = slots[static_cast<std::size_t>(i)];
+        if (!s.running && !s.waiting) {
+          s.attempts = 0;
+          start_worker(i, queue.front());
+          queue.pop_front();
+        }
+      }
+    }
+    // Respawns whose backoff elapsed.
+    for (int i = 0; i < nslots; ++i) {
+      slot_state& s = slots[static_cast<std::size_t>(i)];
+      if (s.waiting && !degraded && ms_until(s.respawn_at) <= 0) {
+        start_worker(i, s.chunk);
+      } else if (s.waiting && degraded) {
+        leftover.push_back(s.chunk);
+        s.waiting = false;
+      }
+    }
+
+    bool any_running = false;
+    bool any_waiting = false;
+    for (const slot_state& s : slots) {
+      any_running = any_running || s.running;
+      any_waiting = any_waiting || s.waiting;
+    }
+    if (!any_running && !any_waiting && queue.empty()) break;
+
+    // Poll timeout: the nearest of inactivity deadlines and respawn timers,
+    // clamped to 200 ms so state re-checks stay cheap and frequent.
+    std::int64_t timeout = 200;
+    std::vector<pollfd> fds;
+    std::vector<int> fd_slot;
+    for (int i = 0; i < nslots; ++i) {
+      slot_state& s = slots[static_cast<std::size_t>(i)];
+      if (s.running) {
+        fds.push_back({s.fd, POLLIN, 0});
+        fd_slot.push_back(i);
+        if (options.worker_timeout_ms > 0) {
+          const std::int64_t until =
+              ms_until(s.last_activity +
+                       std::chrono::milliseconds(options.worker_timeout_ms));
+          timeout = std::min(timeout, std::max<std::int64_t>(until, 0));
+        }
+      } else if (s.waiting) {
+        timeout = std::min(timeout,
+                           std::max<std::int64_t>(ms_until(s.respawn_at), 0));
+      }
+    }
+    if (!fds.empty()) {
+      const int ready = ::poll(fds.data(), fds.size(),
+                               static_cast<int>(timeout));
+      ensure(ready >= 0 || errno == EINTR,
+             std::string(what) + ": poll failed: " + std::strerror(errno));
+      for (std::size_t k = 0; k < fds.size(); ++k) {
+        if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+          const int i = fd_slot[k];
+          if (slots[static_cast<std::size_t>(i)].running) read_slot(i);
+        }
+      }
+    } else if (timeout > 0) {
+      ::usleep(static_cast<useconds_t>(timeout) * 1000);
+    }
+    // Inactivity timeouts: a worker that went silent past the deadline is
+    // killed and its remainder rerouted (kill -> backoff -> respawn).
+    if (options.worker_timeout_ms > 0) {
+      for (int i = 0; i < nslots; ++i) {
+        slot_state& s = slots[static_cast<std::size_t>(i)];
+        if (s.running &&
+            ms_until(s.last_activity +
+                     std::chrono::milliseconds(options.worker_timeout_ms)) <= 0) {
+          fail_slot(i, "inactivity timeout");
+        }
+      }
+    }
+  }
+
+  if (!leftover.empty()) {
+    ensure(static_cast<bool>(inline_fn),
+           std::string(what) + ": retry budget exhausted and no inline "
+                               "fallback is available");
+    std::sort(leftover.begin(), leftover.end(),
+              [](const trial_range& a, const trial_range& b) {
+                return a.base < b.base;
+              });
+    for (const trial_range& range : leftover) {
+      for (std::uint64_t t = range.base; t < range.base + range.count; ++t) {
+        if (!received[t]) deliver(t, inline_fn(t, seed_gen.fork(t)));
+      }
+    }
+  }
+
+  ensure(completed == trials,
+         std::string(what) + ": a trial result never arrived");
+  return results;
+}
+
+}  // namespace
+
+void run_trial_block(trial_range range, int fd, const trial_fn& fn,
+                     const rng& seed_gen, const fault_injector& injector) {
+  std::uint64_t written = 0;
+  for (std::uint64_t t = range.base; t < range.base + range.count; ++t) {
+    injector.before_record(fd, written);
+    write_trial_record(fd, {t, fn(t, seed_gen.fork(t))});
+    ++written;
+  }
+}
+
+std::vector<election_result> supervised_fleet_run(
+    std::uint64_t trials, rng seed_gen, const trial_fn& fn, int jobs,
+    const supervise_options& options) {
+  const launch_fn launch = [&](int slot, trial_range chunk, bool inject,
+                               const std::vector<int>& open_fds) {
+    int fds[2];
+    ensure(::pipe(fds) == 0, "supervised_fleet_run: pipe failed");
+    const pid_t pid = ::fork();
+    ensure(pid >= 0, "supervised_fleet_run: fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (const int fd : open_fds) ::close(fd);
+      ignore_sigpipe();
+      int status = 0;
+      try {
+        const fault_injector injector =
+            inject ? fault_injector(options.faults, slot) : fault_injector();
+        run_trial_block(chunk, fds[1], fn, seed_gen, injector);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet worker slot %d: %s\n", slot, e.what());
+        status = 1;
+      }
+      ::close(fds[1]);
+      ::_exit(status);
+    }
+    ::close(fds[1]);
+    return child_guard::child{pid, fds[0]};
+  };
+  return supervise(trials, seed_gen, jobs, options, launch, fn,
+                   "supervised_fleet_run");
+}
+
+std::vector<election_result> supervised_spawn_sweep(
+    const std::string& exe, const std::string& manifest_path,
+    const worker_manifest& manifest, const supervise_options& options,
+    const trial_fn& inline_fn) {
+  const launch_fn launch = [&](int slot, trial_range chunk, bool inject,
+                               const std::vector<int>& open_fds) {
+    int fds[2];
+    ensure(::pipe(fds) == 0, "supervised_spawn_sweep: pipe failed");
+    const pid_t pid = ::fork();
+    ensure(pid >= 0, "supervised_spawn_sweep: fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (const int fd : open_fds) ::close(fd);
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[1]);
+      const std::string index = std::to_string(slot);
+      const std::string base = std::to_string(chunk.base);
+      const std::string count = std::to_string(chunk.count);
+      const std::string faults = to_string(options.faults);
+      if (inject && !faults.empty()) {
+        ::execl(exe.c_str(), exe.c_str(), "--worker", manifest_path.c_str(),
+                index.c_str(), base.c_str(), count.c_str(), faults.c_str(),
+                static_cast<char*>(nullptr));
+      } else {
+        ::execl(exe.c_str(), exe.c_str(), "--worker", manifest_path.c_str(),
+                index.c_str(), base.c_str(), count.c_str(),
+                static_cast<char*>(nullptr));
+      }
+      std::fprintf(stderr, "supervised_spawn_sweep: exec %s failed: %s\n",
+                   exe.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    return child_guard::child{pid, fds[0]};
+  };
+  // Trial t of the sweep uses rng(seed).fork(2).fork(t), exactly the serial
+  // derivation (sweep.h) — needed here for the inline degraded path.
+  const rng seed_gen = rng(manifest.seed).fork(2);
+  return supervise(manifest.trials, seed_gen, manifest.jobs, options, launch,
+                   inline_fn, "supervised_spawn_sweep");
+}
+
+}  // namespace pp::fleet

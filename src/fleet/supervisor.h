@@ -1,0 +1,77 @@
+// Fault-tolerant fleet sweep supervisor: replaces the blocking drain loop of
+// sweep.h's fleet_run/spawn_worker_sweep with a poll()-multiplexed event
+// loop that survives worker crashes instead of aborting the sweep.
+//
+// Supervision state machine, per worker slot:
+//
+//   running ──(EOF, exit 0, chunk complete)──────────────► idle / next chunk
+//   running ──(EOF early, nonzero exit, torn record,
+//              protocol violation, inactivity timeout)───► kill ► failed
+//   failed  ──(retry budget left)──► backoff (capped exponential) ► respawn
+//           └─(budget exhausted)──► degrade: remaining trials run inline,
+//                                   serially, in the supervisor process
+//
+// Work is dealt in contiguous trial chunks.  A worker streams its chunk in
+// order, so the validly received records of a failed worker always form a
+// prefix — the remainder is again one contiguous chunk, handed to the
+// respawned worker.  Determinism is free: trial t runs seed_gen.fork(t) no
+// matter which process (or the inline fallback) executes it, so a recovered
+// sweep's merged results are byte-identical to a serial sweep.
+//
+// With a journal path set, every completed trial is spooled to a crash-safe
+// .ppaj journal (journal.h) as it streams in; `resume` replays the journal
+// first and the supervisor runs only the gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fault.h"
+#include "fleet/journal.h"
+#include "fleet/sweep.h"
+#include "support/rng.h"
+
+namespace pp::fleet {
+
+struct supervise_options {
+  int worker_timeout_ms = 0;      // per-worker inactivity timeout; 0 disables
+  int max_retries = 2;            // total kill-and-respawns across the sweep
+  int backoff_initial_ms = 10;    // first respawn delay
+  int backoff_max_ms = 2000;      // cap of the exponential backoff
+  std::string journal_path;       // spool completed trials here ("" = off)
+  bool resume = false;            // replay journal_path, run only the gap
+  std::uint64_t journal_tag = 0;  // sweep identity (master seed) in the header
+  std::vector<fault_spec> faults; // injected into first-generation workers only
+};
+
+// Fork-mode supervised sweep: as fleet_run, but workers that die (crash,
+// nonzero exit, torn record, hang past the timeout) are killed and respawned
+// with their incomplete trials, degrading to inline serial execution of the
+// remainder once the retry budget is spent.  Returns the per-trial results
+// indexed by trial; throws only on unrecoverable errors (journal mismatch,
+// fault spec naming a slot beyond `jobs`).
+std::vector<election_result> supervised_fleet_run(std::uint64_t trials,
+                                                  rng seed_gen,
+                                                  const trial_fn& fn, int jobs,
+                                                  const supervise_options& options);
+
+// Exec-mode supervised sweep: workers are
+// `exe --worker <manifest_path> <slot> <base> <count> [<faults>]`
+// subprocesses streaming records on stdout.  `inline_fn` (optional) runs
+// remaining trials in this process when the retry budget is exhausted; with
+// no inline fallback, exhaustion throws instead of degrading.
+std::vector<election_result> supervised_spawn_sweep(
+    const std::string& exe, const std::string& manifest_path,
+    const worker_manifest& manifest, const supervise_options& options,
+    const trial_fn& inline_fn = {});
+
+// Worker-side block runner shared by fork-mode workers and popsim --worker:
+// streams trials [range.base, range.base + range.count) to `fd` in order,
+// trial t using seed_gen.fork(t), firing the injector's fault (if armed for
+// this worker) at its exact record count.
+void run_trial_block(trial_range range, int fd, const trial_fn& fn,
+                     const rng& seed_gen,
+                     const fault_injector& injector = {});
+
+}  // namespace pp::fleet

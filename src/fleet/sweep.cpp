@@ -1,5 +1,6 @@
 #include "fleet/sweep.h"
 
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -16,15 +17,15 @@ namespace pp::fleet {
 
 namespace {
 
-// u64 trial + u64 steps + u64 distinct + i32 leader + u8 stabilized.
-constexpr std::uint32_t kRecordPayload = 8 + 8 + 8 + 4 + 1;
-
 void write_all(int fd, const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
     const ssize_t n = ::write(fd, p, size);
     if (n < 0) {
-      ensure(errno == EINTR, "fleet: pipe write failed");
+      // EINTR/EAGAIN are transient; everything else (notably EPIPE once the
+      // reader died and SIGPIPE is ignored) is fatal and named precisely.
+      ensure(errno == EINTR || errno == EAGAIN,
+             std::string("fleet: pipe write failed: ") + std::strerror(errno));
       continue;
     }
     p += n;
@@ -40,7 +41,8 @@ bool read_all(int fd, void* data, std::size_t size) {
   while (got < size) {
     const ssize_t n = ::read(fd, p + got, size - got);
     if (n < 0) {
-      ensure(errno == EINTR, "fleet: pipe read failed");
+      ensure(errno == EINTR || errno == EAGAIN,
+             std::string("fleet: pipe read failed: ") + std::strerror(errno));
       continue;
     }
     if (n == 0) {
@@ -79,43 +81,40 @@ void drain_records(int fd, std::vector<election_result>& results,
   }
 }
 
-struct child_proc {
-  pid_t pid = -1;
-  int read_fd = -1;
-};
-
 // Drains every child's pipe, reaps every child, and verifies all trials
-// arrived exactly once — shared tail of the fork and exec drivers.  Children
-// are always reaped, even when draining throws.
-std::vector<election_result> collect(std::vector<child_proc>& children,
-                                     std::uint64_t trials, const char* what) {
+// arrived exactly once — shared tail of the fork and exec drivers.  On any
+// drain error the surviving children are SIGKILLed before reaping (a worker
+// blocked on a full pipe would otherwise hang the waitpid forever), and the
+// guard's destructor covers every other exit path.
+std::vector<election_result> collect(child_guard& guard, std::uint64_t trials,
+                                     const char* what) {
   std::vector<election_result> results(trials);
   std::vector<std::uint8_t> received(trials, 0);
   std::string drain_error;
-  for (child_proc& c : children) {
+  for (child_guard::child& c : guard.children()) {
     try {
       drain_records(c.read_fd, results, received);
     } catch (const std::exception& e) {
       if (drain_error.empty()) drain_error = e.what();
     }
-    ::close(c.read_fd);
+    guard.close_fd(c);
   }
+  if (!drain_error.empty()) guard.kill_all();
   bool worker_failed = false;
-  for (child_proc& c : children) {
-    int status = 0;
-    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) worker_failed = true;
+  for (child_guard::child& c : guard.children()) {
+    if (!guard.reap(c)) worker_failed = true;
   }
   // Report both failure modes: a drain error (torn record, version skew) is
-  // often the root cause of the worker deaths it provokes via SIGPIPE, so
+  // often the root cause of the worker deaths it provokes via EPIPE, so
   // it must not be masked by the generic worker-failure message.
   std::string failure;
-  if (worker_failed) {
+  if (worker_failed && drain_error.empty()) {
     failure = std::string(what) + ": a worker process failed (see its stderr)";
-  }
-  if (!drain_error.empty()) {
-    failure += failure.empty() ? drain_error : "; " + drain_error;
+  } else if (worker_failed) {
+    failure = std::string(what) + ": a worker process failed (see its stderr); " +
+              drain_error;
+  } else {
+    failure = drain_error;
   }
   ensure(failure.empty(), failure);
   for (std::uint64_t t = 0; t < trials; ++t) {
@@ -125,6 +124,38 @@ std::vector<election_result> collect(std::vector<child_proc>& children,
 }
 
 }  // namespace
+
+child_guard::~child_guard() { kill_all(); }
+
+void child_guard::add(pid_t pid, int read_fd) { children_.push_back({pid, read_fd}); }
+
+void child_guard::close_fd(child& c) {
+  if (c.read_fd >= 0) {
+    ::close(c.read_fd);
+    c.read_fd = -1;
+  }
+}
+
+bool child_guard::reap(child& c) {
+  if (c.pid < 0) return true;
+  int status = 0;
+  while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  c.pid = -1;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+void child_guard::kill_all() {
+  for (child& c : children_) {
+    close_fd(c);
+    if (c.pid >= 0) {
+      ::kill(c.pid, SIGKILL);
+      reap(c);
+    }
+  }
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
 
 trial_range worker_range(std::uint64_t trials, int jobs, int worker) {
   expects(jobs >= 1, "worker_range: jobs must be >= 1");
@@ -138,32 +169,43 @@ trial_range worker_range(std::uint64_t trials, int jobs, int worker) {
   return r;
 }
 
-void write_trial_record(int fd, const trial_record& record) {
-  std::uint8_t buf[4 + kRecordPayload];
-  std::uint8_t* p = buf;
-  pack<std::uint32_t>(p, kRecordPayload);
+void encode_trial_record(const trial_record& record, std::uint8_t* out) {
+  std::uint8_t* p = out;
   pack<std::uint64_t>(p, record.trial);
   pack<std::uint64_t>(p, record.result.steps);
   pack<std::uint64_t>(p, static_cast<std::uint64_t>(record.result.distinct_states_used));
   pack<std::int32_t>(p, static_cast<std::int32_t>(record.result.leader));
   pack<std::uint8_t>(p, record.result.stabilized ? 1 : 0);
-  write_all(fd, buf, sizeof(buf));
 }
 
-bool read_trial_record(int fd, trial_record& out) {
-  std::uint32_t length = 0;
-  if (!read_all(fd, &length, sizeof(length))) return false;
-  ensure(length == kRecordPayload, "fleet: record length mismatch "
-                                   "(producer/reader version skew)");
-  std::uint8_t buf[kRecordPayload];
-  ensure(read_all(fd, buf, sizeof(buf)), "fleet: torn record payload");
-  const std::uint8_t* p = buf;
+trial_record decode_trial_record(const std::uint8_t* payload) {
+  const std::uint8_t* p = payload;
+  trial_record out;
   out.trial = unpack<std::uint64_t>(p);
   out.result.steps = unpack<std::uint64_t>(p);
   out.result.distinct_states_used =
       static_cast<std::size_t>(unpack<std::uint64_t>(p));
   out.result.leader = static_cast<node_id>(unpack<std::int32_t>(p));
   out.result.stabilized = unpack<std::uint8_t>(p) != 0;
+  return out;
+}
+
+void write_trial_record(int fd, const trial_record& record) {
+  std::uint8_t buf[4 + kTrialRecordPayload];
+  std::uint8_t* p = buf;
+  pack<std::uint32_t>(p, kTrialRecordPayload);
+  encode_trial_record(record, p);
+  write_all(fd, buf, sizeof(buf));
+}
+
+bool read_trial_record(int fd, trial_record& out) {
+  std::uint32_t length = 0;
+  if (!read_all(fd, &length, sizeof(length))) return false;
+  ensure(length == kTrialRecordPayload, "fleet: record length mismatch "
+                                        "(producer/reader version skew)");
+  std::uint8_t buf[kTrialRecordPayload];
+  ensure(read_all(fd, buf, sizeof(buf)), "fleet: torn record payload");
+  out = decode_trial_record(buf);
   return true;
 }
 
@@ -181,8 +223,7 @@ std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
     return results;
   }
 
-  std::vector<child_proc> children;
-  children.reserve(static_cast<std::size_t>(jobs));
+  child_guard guard;
   for (int w = 0; w < jobs; ++w) {
     int fds[2];
     ensure(::pipe(fds) == 0, "fleet_run: pipe failed");
@@ -193,7 +234,8 @@ std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
       // atexit handlers (the parent owns the inherited heap; under ASan this
       // also skips a bogus leak scan of the parent's allocations).
       ::close(fds[0]);
-      for (const child_proc& c : children) ::close(c.read_fd);
+      for (const child_guard::child& c : guard.children()) ::close(c.read_fd);
+      ignore_sigpipe();
       int status = 0;
       try {
         const trial_range range = worker_range(trials, jobs, w);
@@ -208,9 +250,9 @@ std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
       ::_exit(status);
     }
     ::close(fds[1]);
-    children.push_back({pid, fds[0]});
+    guard.add(pid, fds[0]);
   }
-  return collect(children, trials, "fleet_run");
+  return collect(guard, trials, "fleet_run");
 }
 
 void write_manifest(const worker_manifest& manifest, const std::string& path) {
@@ -295,8 +337,7 @@ std::vector<election_result> spawn_worker_sweep(const std::string& exe,
                                                 const std::string& manifest_path,
                                                 const worker_manifest& manifest) {
   expects(manifest.jobs >= 1, "spawn_worker_sweep: jobs must be >= 1");
-  std::vector<child_proc> children;
-  children.reserve(static_cast<std::size_t>(manifest.jobs));
+  child_guard guard;
   for (int w = 0; w < manifest.jobs; ++w) {
     int fds[2];
     ensure(::pipe(fds) == 0, "spawn_worker_sweep: pipe failed");
@@ -304,7 +345,7 @@ std::vector<election_result> spawn_worker_sweep(const std::string& exe,
     ensure(pid >= 0, "spawn_worker_sweep: fork failed");
     if (pid == 0) {
       ::close(fds[0]);
-      for (const child_proc& c : children) ::close(c.read_fd);
+      for (const child_guard::child& c : guard.children()) ::close(c.read_fd);
       ::dup2(fds[1], STDOUT_FILENO);
       ::close(fds[1]);
       const std::string index = std::to_string(w);
@@ -315,9 +356,9 @@ std::vector<election_result> spawn_worker_sweep(const std::string& exe,
       ::_exit(127);
     }
     ::close(fds[1]);
-    children.push_back({pid, fds[0]});
+    guard.add(pid, fds[0]);
   }
-  return collect(children, manifest.trials, "spawn_worker_sweep");
+  return collect(guard, manifest.trials, "spawn_worker_sweep");
 }
 
 std::string self_exe_path(const char* argv0) {

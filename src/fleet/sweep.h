@@ -51,11 +51,61 @@ struct trial_record {
   election_result result;
 };
 
+// Fixed payload size of one encoded trial_record:
+// u64 trial + u64 steps + u64 distinct + i32 leader + u8 stabilized.
+inline constexpr std::uint32_t kTrialRecordPayload = 8 + 8 + 8 + 4 + 1;
+
+// Flat encode/decode of one record payload — the shared wire format of the
+// pipe protocol below, the supervisor's buffered reader (supervisor.h) and
+// the on-disk journal (journal.h).
+void encode_trial_record(const trial_record& record, std::uint8_t* out);
+trial_record decode_trial_record(const std::uint8_t* payload);
+
 // Length-prefixed record IO on pipe/file descriptors.  write_trial_record
 // retries short writes; read_trial_record returns false on a clean EOF at a
-// record boundary and throws on a torn record.
+// record boundary and throws on a torn record.  A closed read end surfaces
+// as EPIPE (workers ignore SIGPIPE), reported with strerror in the message.
 void write_trial_record(int fd, const trial_record& record);
 bool read_trial_record(int fd, trial_record& out);
+
+// Worker-process prologue: ignore SIGPIPE so a worker whose parent died
+// mid-sweep gets a loud EPIPE error (stderr + nonzero exit) instead of
+// dying silently from the default disposition.  Called by every fork-mode
+// worker and by `popsim --worker`.
+void ignore_sigpipe();
+
+// RAII guard over spawned worker processes: any exit path that does not
+// explicitly reap (a throw mid-spawn or mid-drain) SIGKILLs and waitpids
+// every still-owned child and closes its pipe, so no error path leaks
+// zombies or orphans that keep writing to a dead pipe.
+class child_guard {
+ public:
+  struct child {
+    pid_t pid = -1;
+    int read_fd = -1;
+  };
+
+  child_guard() = default;
+  ~child_guard();
+  child_guard(const child_guard&) = delete;
+  child_guard& operator=(const child_guard&) = delete;
+
+  void add(pid_t pid, int read_fd);
+  std::vector<child>& children() { return children_; }
+
+  // Closes a child's read fd (idempotent).
+  void close_fd(child& c);
+
+  // Blocking waitpid of one child; returns true iff it exited with status 0.
+  // The child is no longer owned afterwards.
+  bool reap(child& c);
+
+  // SIGKILL + reap every still-owned child (the error-path teardown).
+  void kill_all();
+
+ private:
+  std::vector<child> children_;
+};
 
 // The per-trial work: called with the global trial index and the trial's
 // forked generator (seed_gen.fork(trial)).

@@ -76,6 +76,20 @@ TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
       "--worker",                                // missing manifest + index
       "--worker /nonexistent/manifest 0",        // unreadable manifest
       "--worker /dev/null 0",                    // not a manifest
+      "--worker /dev/null 0 1",                  // base without count
+      "clique 100 fast --journal",               // flag missing its value
+      "clique 100 fast --resume",                // --resume without --journal
+      "clique 100 id --journal /tmp/x.ppaj",     // journal needs the engine
+      "clique 100 fast --retries -1",            // negative retry budget
+      "clique 100 fast --retries 1001",          // out-of-range retry budget
+      "clique 100 fast --worker-timeout-ms 0",   // zero timeout (use no flag)
+      "clique 100 fast --worker-timeout-ms 1e3", // non-integer timeout
+      "clique 100 fast --inject-fault",          // flag missing its value
+      "clique 100 fast --inject-fault vanish:w0",       // unknown fault kind
+      "clique 100 fast --inject-fault exit:0",          // slot without w prefix
+      "clique 100 fast --inject-fault exit:w0:after",   // after without value
+      "clique 100 fast --inject-fault exit:w0,",        // trailing comma
+      "clique 100 fast --jobs 2 --inject-fault exit:w5",  // slot beyond fleet
   };
   for (const char* args : invalid) {
     const cli_result r = run_cli(args);
@@ -183,6 +197,43 @@ TEST(CliFleet, StarArtifactSweepStdoutIsIdenticalSerialVsJobs) {
   EXPECT_EQ(bytes_a, bytes_b);
   std::remove(artifact.c_str());
   std::remove(resaved.c_str());
+}
+
+// The CLI half of the crash-recovery gate: a sweep with an injected worker
+// crash, and a journaled sweep resumed to completion, both print exactly the
+// serial stdout (supervisor chatter goes to stderr).
+TEST(CliFleet, FaultInjectedAndResumedSweepsMatchSerialStdout) {
+  const std::string journal = testing::TempDir() + "/cli_recovery.ppaj";
+  std::remove(journal.c_str());
+  const std::string base = "cycle 200 fast --trials 8 --seed 5";
+
+  const cli_result serial = run_cli(base);
+  ASSERT_EQ(serial.code, 0);
+
+  // A worker SIGKILLed mid-chunk is respawned; stdout is unchanged.
+  const cli_result crashed =
+      run_cli(base + " --jobs 3 --inject-fault sigkill:w1:after=1");
+  ASSERT_EQ(crashed.code, 0);
+  EXPECT_EQ(serial.out, crashed.out);
+
+  // A journaled sweep spools every trial; resuming the complete journal
+  // re-runs nothing and prints the same summary.
+  const cli_result journaled =
+      run_cli(base + " --jobs 2 --journal " + journal);
+  ASSERT_EQ(journaled.code, 0);
+  EXPECT_EQ(serial.out, journaled.out);
+  const cli_result resumed =
+      run_cli(base + " --jobs 2 --journal " + journal + " --resume");
+  ASSERT_EQ(resumed.code, 0);
+  EXPECT_EQ(serial.out, resumed.out);
+
+  // Resuming the journal under a different seed is a loud error, not a
+  // silently merged pair of unrelated sweeps.
+  const cli_result mismatched = run_cli(
+      "cycle 200 fast --trials 8 --seed 6 --jobs 2 --journal " + journal +
+      " --resume");
+  EXPECT_GT(mismatched.code, 0);
+  std::remove(journal.c_str());
 }
 
 TEST(CliFleet, WellmixedArtifactSweepIsDeterministic) {

@@ -1,6 +1,8 @@
 // Fleet sweep driver (src/fleet/sweep.h): seed-partition determinism —
 // a fleet sweep's merged results are byte-identical to the serial sweep —
-// plus the record/manifest protocol and worker-failure propagation.
+// plus the record/manifest protocol, worker-failure propagation, and the
+// crash-recovery matrix of the supervisor (fault injection, journaled
+// resume, retry-budget degradation).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -16,6 +18,9 @@
 #include "core/star_protocol.h"
 #include "dynamics/epidemic.h"
 #include "fleet/artifact.h"
+#include "fleet/fault.h"
+#include "fleet/journal.h"
+#include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "graph/generators.h"
 
@@ -240,6 +245,355 @@ TEST(Manifest, OutOfRangeValuesAreRejectedNotWrapped) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fault specs (fleet/fault.h)
+
+TEST(FaultSpec, ParsesAndRoundTrips) {
+  const struct {
+    const char* text;
+    fault_spec want;
+  } valid[] = {
+      {"exit:w0", {fault_kind::exit, 0, 0}},
+      {"sigkill:w3:after=7", {fault_kind::sigkill, 3, 7}},
+      {"stall:w12:after=0", {fault_kind::stall, 12, 0}},
+      {"torn:w1:after=2", {fault_kind::torn, 1, 2}},
+  };
+  for (const auto& row : valid) {
+    fault_spec got;
+    ASSERT_TRUE(parse_fault_spec(row.text, got)) << row.text;
+    EXPECT_EQ(got, row.want) << row.text;
+    fault_spec round;
+    ASSERT_TRUE(parse_fault_spec(to_string(got), round)) << row.text;
+    EXPECT_EQ(round, got) << row.text;
+  }
+
+  std::vector<fault_spec> list;
+  ASSERT_TRUE(parse_fault_specs("exit:w0:after=1,sigkill:w1", list));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (fault_spec{fault_kind::exit, 0, 1}));
+  EXPECT_EQ(list[1], (fault_spec{fault_kind::sigkill, 1, 0}));
+  fault_spec round_list;  // list round trip
+  std::vector<fault_spec> list2;
+  ASSERT_TRUE(parse_fault_specs(to_string(list), list2));
+  EXPECT_EQ(list2, list);
+  (void)round_list;
+}
+
+TEST(FaultSpec, MalformedSpecsAreRejected) {
+  const char* invalid[] = {
+      "",                  // empty
+      "exit",              // no worker
+      "vanish:w0",         // unknown kind
+      "exit:0",            // worker without the w prefix
+      "exit:w",            // w without a slot number
+      "exit:wx",           // non-numeric slot
+      "exit:w-1",          // negative slot
+      "exit:w0:after",     // after without a value
+      "exit:w0:afterx=3",  // misspelled key
+      "exit:w0:after=",    // empty count
+      "exit:w0:after=2x",  // trailing garbage in the count
+      "exit:w0,",          // trailing comma in a list
+      ",exit:w0",          // leading comma in a list
+  };
+  for (const char* text : invalid) {
+    fault_spec spec;
+    std::vector<fault_spec> list;
+    EXPECT_FALSE(parse_fault_spec(text, spec)) << text;
+    EXPECT_FALSE(parse_fault_specs(text, list)) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal (fleet/journal.h)
+
+namespace {
+
+constexpr std::size_t kTestHeaderBytes = 32;
+constexpr std::size_t kTestRecordBytes = 4 + kTrialRecordPayload + 8;
+
+trial_record synthetic_record(std::uint64_t t) {
+  trial_record r;
+  r.trial = t;
+  r.result.stabilized = true;
+  r.result.steps = 1000 + 17 * t;
+  r.result.leader = static_cast<node_id>(t % 13);
+  r.result.distinct_states_used = 4;
+  return r;
+}
+
+std::string write_test_journal(const journal_header& header,
+                               std::uint64_t records, const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  journal_writer writer(path, header, /*resume=*/false);
+  for (std::uint64_t t = 0; t < records; ++t) writer.append(synthetic_record(t));
+  return path;
+}
+
+void flip_byte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(Journal, WriteReplayRoundTrip) {
+  const journal_header header{42, 10};
+  const std::string path = write_test_journal(header, 6, "journal_rt.ppaj");
+  const journal_replay replay = replay_journal(path);
+  EXPECT_EQ(replay.header, header);
+  EXPECT_EQ(replay.corrupt_records, 0u);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 6u);
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    const trial_record want = synthetic_record(t);
+    EXPECT_EQ(replay.records[t].trial, want.trial);
+    EXPECT_EQ(replay.records[t].result.steps, want.result.steps);
+    EXPECT_EQ(replay.records[t].result.leader, want.result.leader);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsToleratedAndTruncatedOnResume) {
+  const journal_header header{7, 10};
+  const std::string path = write_test_journal(header, 4, "journal_torn.ppaj");
+  {
+    // Simulate a writer killed mid-record: a plausible length field and half
+    // a payload dangling at the end of the file.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t length = kTrialRecordPayload;
+    std::fwrite(&length, sizeof(length), 1, f);
+    const std::uint8_t half[kTrialRecordPayload / 2] = {};
+    std::fwrite(half, sizeof(half), 1, f);
+    std::fclose(f);
+  }
+  const journal_replay torn = replay_journal(path);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.records.size(), 4u);  // everything before the tear survives
+  EXPECT_EQ(torn.durable_bytes, kTestHeaderBytes + 4 * kTestRecordBytes);
+
+  // Resuming truncates the tear so the appended record stays well-framed.
+  {
+    journal_writer writer(path, header, /*resume=*/true);
+    writer.append(synthetic_record(4));
+  }
+  const journal_replay mended = replay_journal(path);
+  EXPECT_FALSE(mended.torn_tail);
+  EXPECT_EQ(mended.corrupt_records, 0u);
+  ASSERT_EQ(mended.records.size(), 5u);
+  EXPECT_EQ(mended.records[4].trial, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptRecordIsSkippedAndFramingSurvives) {
+  const journal_header header{9, 10};
+  const std::string path = write_test_journal(header, 5, "journal_rot.ppaj");
+  // Flip a byte inside record 2's payload: its checksum fails, but the
+  // fixed-size framing lets replay pick up record 3 cleanly.
+  flip_byte(path, static_cast<long>(kTestHeaderBytes + 2 * kTestRecordBytes + 4 + 9));
+  const journal_replay replay = replay_journal(path);
+  EXPECT_EQ(replay.corrupt_records, 1u);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.records[0].trial, 0u);
+  EXPECT_EQ(replay.records[1].trial, 1u);
+  EXPECT_EQ(replay.records[2].trial, 3u);  // record 2 dropped
+  EXPECT_EQ(replay.records[3].trial, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, NonJournalFilesAndHeaderMismatchesAreRejected) {
+  EXPECT_THROW(replay_journal("/nonexistent/sweep.ppaj"), std::invalid_argument);
+  const std::string junk = testing::TempDir() + "/journal_junk.ppaj";
+  std::FILE* f = std::fopen(junk.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a journal, but with enough bytes to parse", f);
+  std::fclose(f);
+  EXPECT_THROW(replay_journal(junk), std::invalid_argument);
+  std::remove(junk.c_str());
+
+  // Resuming against a journal written for a different sweep fails loudly.
+  const std::string path =
+      write_test_journal(journal_header{5, 10}, 3, "journal_other.ppaj");
+  EXPECT_THROW(journal_writer(path, journal_header{6, 10}, /*resume=*/true),
+               std::invalid_argument);
+  EXPECT_THROW(journal_writer(path, journal_header{5, 11}, /*resume=*/true),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor (fleet/supervisor.h): the full recovery matrix.  Every test
+// compares against the plain serial sweep — recovery is only correct if the
+// merged results are byte-identical to a run where nothing ever failed.
+
+namespace {
+
+election_result synthetic_trial(std::uint64_t t, rng gen) {
+  election_result r;
+  r.stabilized = true;
+  r.steps = 1000 + gen.uniform_below(1'000'000);
+  r.leader = static_cast<node_id>(t % 11);
+  r.distinct_states_used = 4;
+  return r;
+}
+
+void expect_same_results(const std::vector<election_result>& a,
+                         const std::vector<election_result>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].steps, b[t].steps) << "trial " << t;
+    EXPECT_EQ(a[t].leader, b[t].leader) << "trial " << t;
+    EXPECT_EQ(a[t].stabilized, b[t].stabilized) << "trial " << t;
+  }
+}
+
+}  // namespace
+
+TEST(Supervisor, CleanSweepMatchesSerial) {
+  const rng seed_gen = rng(31).fork(2);
+  const auto serial = fleet_run(17, seed_gen, synthetic_trial, 1);
+  const auto supervised =
+      supervised_fleet_run(17, seed_gen, synthetic_trial, 3, {});
+  expect_same_results(serial, supervised);
+}
+
+TEST(Supervisor, RecoversFromEveryFaultKindByteIdentically) {
+  const rng seed_gen = rng(33).fork(2);
+  const auto serial = fleet_run(17, seed_gen, synthetic_trial, 1);
+
+  for (const fault_kind kind :
+       {fault_kind::exit, fault_kind::sigkill, fault_kind::torn}) {
+    supervise_options options;
+    options.faults = {{kind, 1, 1}};  // slot 1 dies after one record
+    const auto recovered =
+        supervised_fleet_run(17, seed_gen, synthetic_trial, 3, options);
+    expect_same_results(serial, recovered);
+  }
+
+  // A stalled worker writes nothing and never exits: only the inactivity
+  // timeout can reclaim its trials.
+  supervise_options options;
+  options.faults = {{fault_kind::stall, 0, 2}};
+  options.worker_timeout_ms = 250;
+  const auto recovered =
+      supervised_fleet_run(17, seed_gen, synthetic_trial, 3, options);
+  expect_same_results(serial, recovered);
+}
+
+TEST(Supervisor, JournalsEveryTrialAndResumeSkipsCompletedOnes) {
+  const rng seed_gen = rng(35).fork(2);
+  const std::uint64_t trials = 15;
+  const auto serial = fleet_run(trials, seed_gen, synthetic_trial, 1);
+  const std::string path = testing::TempDir() + "/supervisor_resume.ppaj";
+
+  // Journal only the first 9 trials, as if the sweep was killed there.
+  {
+    journal_writer writer(path, journal_header{35, trials}, /*resume=*/false);
+    for (std::uint64_t t = 0; t < 9; ++t) writer.append({t, serial[t]});
+  }
+
+  // The resumed sweep must only run the gap: a re-run of any completed trial
+  // would produce poisoned results and break the equality below.
+  const trial_fn gap_only = [&](std::uint64_t t, rng gen) {
+    if (t < 9) {
+      election_result poisoned;
+      poisoned.steps = 999'999'999;
+      return poisoned;
+    }
+    return synthetic_trial(t, gen);
+  };
+  supervise_options options;
+  options.journal_path = path;
+  options.resume = true;
+  options.journal_tag = 35;
+  const auto resumed =
+      supervised_fleet_run(trials, seed_gen, gap_only, 2, options);
+  expect_same_results(serial, resumed);
+
+  // After the resumed run the journal holds every trial.
+  const journal_replay replay = replay_journal(path);
+  std::vector<bool> seen(trials, false);
+  for (const trial_record& r : replay.records) seen[r.trial] = true;
+  for (std::uint64_t t = 0; t < trials; ++t) EXPECT_TRUE(seen[t]) << t;
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, CorruptedJournalRecordReRunsThatTrial) {
+  const rng seed_gen = rng(37).fork(2);
+  const std::uint64_t trials = 12;
+  const auto serial = fleet_run(trials, seed_gen, synthetic_trial, 1);
+  const std::string path = testing::TempDir() + "/supervisor_rot.ppaj";
+  {
+    journal_writer writer(path, journal_header{37, trials}, /*resume=*/false);
+    for (std::uint64_t t = 0; t < trials; ++t) writer.append({t, serial[t]});
+  }
+  // Rot one byte of record 5: the resumed sweep must reject it and re-run
+  // exactly that trial.
+  flip_byte(path, static_cast<long>(kTestHeaderBytes + 5 * kTestRecordBytes + 8));
+  supervise_options options;
+  options.journal_path = path;
+  options.resume = true;
+  options.journal_tag = 37;
+  const auto resumed =
+      supervised_fleet_run(trials, seed_gen, synthetic_trial, 2, options);
+  expect_same_results(serial, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, ExhaustedRetryBudgetDegradesToInlineAndCompletes) {
+  const rng seed_gen = rng(39).fork(2);
+  const auto serial = fleet_run(14, seed_gen, synthetic_trial, 1);
+  supervise_options options;
+  options.max_retries = 0;  // the first failure exhausts the budget
+  options.faults = {{fault_kind::sigkill, 0, 1}};
+  const auto degraded =
+      supervised_fleet_run(14, seed_gen, synthetic_trial, 3, options);
+  expect_same_results(serial, degraded);
+}
+
+TEST(Supervisor, RespawnedWorkersRunCleanSoOneSpecIsOneFailure) {
+  // With a nonzero retry budget and a fault on every slot, every slot fails
+  // once, respawns clean, and the sweep still completes without degrading.
+  const rng seed_gen = rng(41).fork(2);
+  const auto serial = fleet_run(13, seed_gen, synthetic_trial, 1);
+  supervise_options options;
+  options.max_retries = 2;
+  options.faults = {{fault_kind::exit, 0, 0}, {fault_kind::sigkill, 1, 2}};
+  const auto recovered =
+      supervised_fleet_run(13, seed_gen, synthetic_trial, 2, options);
+  expect_same_results(serial, recovered);
+}
+
+TEST(Supervisor, InvalidOptionsAreRejected) {
+  // A fault spec naming a slot beyond the fleet would never fire.
+  supervise_options beyond;
+  beyond.faults = {{fault_kind::exit, 5, 0}};
+  EXPECT_THROW(supervised_fleet_run(4, rng(1), synthetic_trial, 2, beyond),
+               std::invalid_argument);
+  // Resume without a journal path has nothing to replay.
+  supervise_options no_path;
+  no_path.resume = true;
+  EXPECT_THROW(supervised_fleet_run(4, rng(1), synthetic_trial, 2, no_path),
+               std::invalid_argument);
+  // Resume against a journal with a different sweep identity.
+  const std::string path =
+      write_test_journal(journal_header{1, 4}, 2, "supervisor_mismatch.ppaj");
+  supervise_options mismatched;
+  mismatched.journal_path = path;
+  mismatched.resume = true;
+  mismatched.journal_tag = 2;
+  EXPECT_THROW(supervised_fleet_run(4, rng(1), synthetic_trial, 2, mismatched),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
 #ifdef PP_POPSIM_CLI
 
 // End-to-end exec-mode sweep: save a real artifact, write a manifest, spawn
@@ -274,6 +628,39 @@ TEST(SpawnWorkers, CliWorkersMatchSerialSweep) {
     EXPECT_EQ(serial[t].leader, fleet[t].leader) << "trial " << t;
     EXPECT_EQ(serial[t].stabilized, fleet[t].stabilized) << "trial " << t;
   }
+  std::remove(artifact_path.c_str());
+  std::remove(manifest_path.c_str());
+}
+
+// Supervised exec-mode sweep: a `popsim --worker` subprocess is SIGKILLed by
+// an injected fault, the supervisor respawns it with the remaining chunk,
+// and the merged records still match the serial sweep exactly.
+TEST(SpawnWorkers, SupervisedCliWorkersRecoverFromSigkill) {
+  const graph g = make_cycle(300);
+  const fast_protocol proto(fast_params::practical(
+      g, estimate_worst_case_broadcast_time(g, 5, 3, rng(3)).value));
+  const tuned_runner<fast_protocol> runner(proto, g);
+
+  const std::string artifact_path = testing::TempDir() + "/fleet_sup.ppaf";
+  save_artifact(make_tuned_artifact(runner, g, "cycle", fast_desc(proto.params())),
+                artifact_path);
+
+  worker_manifest m;
+  m.artifact_path = artifact_path;
+  m.seed = 23;
+  m.trials = 13;
+  m.jobs = 3;
+  const std::string manifest_path = testing::TempDir() + "/fleet_sup.manifest";
+  write_manifest(m, manifest_path);
+
+  supervise_options options;
+  options.faults = {{fault_kind::sigkill, 1, 1}};
+  const auto fleet =
+      supervised_spawn_sweep(PP_POPSIM_CLI, manifest_path, m, options);
+  const auto serial = fleet_run(
+      m.trials, rng(m.seed).fork(2),
+      [&](std::uint64_t, rng gen) { return runner.run(gen); }, 1);
+  expect_same_results(serial, fleet);
   std::remove(artifact_path.c_str());
   std::remove(manifest_path.c_str());
 }

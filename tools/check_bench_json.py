@@ -21,7 +21,14 @@ REQUIRED_KEYS = {
     "engine": ["results"],
     "locality": ["equivalence", "matrix", "equivalence_pass", "locality_pass"],
     "wellmixed": ["agreement", "rates", "agreement_pass", "scale_pass"],
-    "fleet": ["results", "determinism_pass", "scaling_pass", "w2_speedup_tuned"],
+    "fleet": [
+        "results",
+        "determinism_pass",
+        "scaling_pass",
+        "w2_speedup_tuned",
+        "journal_overhead_frac",
+        "journal_overhead_pass",
+    ],
     "star": [
         "equivalence",
         "star_elections",

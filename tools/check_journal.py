@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validator for .ppaj fleet-sweep journals (src/fleet/journal.h).
+
+Checks the binary layout end to end: the 32-byte header (magic "PPAJ",
+endianness tag, version, reserved field, sweep tag, trial count), then every
+record frame (u32 length == 29, payload, u64 FNV-1a of the payload) and the
+trial index ranges inside each payload.  By default a torn tail — the writer
+died mid-record — is reported but tolerated, exactly the replay contract of
+the C++ reader; --strict makes any torn tail or checksum failure fatal, and
+--complete additionally requires every trial of the header's count to be
+present (the state of a journal after a finished or resumed sweep, which is
+what CI asserts).
+
+Usage: check_journal.py [--strict] [--complete] FILE [FILE...]
+Exits nonzero on any violation.
+"""
+
+import argparse
+import struct
+import sys
+
+HEADER_BYTES = 32
+MAGIC = 0x4A415050  # "PPAJ" little-endian
+ENDIAN_TAG = 0x01020304
+VERSION = 1
+PAYLOAD_BYTES = 29  # u64 trial, u64 steps, u64 distinct, i32 leader, u8 stabilized
+RECORD_BYTES = 4 + PAYLOAD_BYTES + 8
+
+
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def check(path, strict, complete):
+    errors = []
+    warnings = []
+    with open(path, "rb") as handle:
+        blob = handle.read()
+
+    if len(blob) < HEADER_BYTES:
+        return [f"{len(blob)} bytes is too short for a journal header"], []
+    magic, endian, version, reserved, tag, trials = struct.unpack_from(
+        "<IIIIQQ", blob, 0
+    )
+    if magic != MAGIC:
+        return [f"bad magic 0x{magic:08x} (want 0x{MAGIC:08x})"], []
+    if endian != ENDIAN_TAG:
+        errors.append(f"foreign endianness tag 0x{endian:08x}")
+    if version != VERSION:
+        errors.append(f"unsupported format version {version}")
+    if reserved != 0:
+        errors.append(f"nonzero reserved header field 0x{reserved:08x}")
+    if errors:
+        return errors, warnings
+
+    seen = set()
+    offset = HEADER_BYTES
+    corrupt = 0
+    torn = False
+    while offset + RECORD_BYTES <= len(blob):
+        (length,) = struct.unpack_from("<I", blob, offset)
+        if length != PAYLOAD_BYTES:
+            torn = True
+            break
+        payload = blob[offset + 4 : offset + 4 + PAYLOAD_BYTES]
+        (stored,) = struct.unpack_from("<Q", blob, offset + 4 + PAYLOAD_BYTES)
+        offset += RECORD_BYTES
+        if fnv1a64(payload) != stored:
+            corrupt += 1
+            continue
+        trial = struct.unpack_from("<Q", payload, 0)[0]
+        if trial >= trials:
+            errors.append(f"record at {offset - RECORD_BYTES}: trial {trial} "
+                          f">= header trial count {trials}")
+            continue
+        seen.add(trial)
+    if offset != len(blob):
+        torn = True
+
+    if corrupt:
+        message = f"{corrupt} record(s) failed their FNV-1a checksum"
+        (errors if strict else warnings).append(message)
+    if torn:
+        message = "torn tail (writer died mid-record)"
+        (errors if strict else warnings).append(message)
+    if complete:
+        missing = trials - len(seen)
+        if missing:
+            errors.append(f"{missing} of {trials} trial(s) missing "
+                          f"(journal is not a completed sweep)")
+    if not errors:
+        warnings.append(
+            f"ok: tag={tag} trials={trials} records={len(seen)} unique"
+        )
+    return errors, warnings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--strict", action="store_true",
+                        help="torn tails and checksum failures are fatal")
+    parser.add_argument("--complete", action="store_true",
+                        help="require every trial of the sweep to be present")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv[1:])
+
+    failed = False
+    for path in args.files:
+        try:
+            errors, notes = check(path, args.strict, args.complete)
+        except OSError as error:
+            errors, notes = [str(error)], []
+        for note in notes:
+            print(f"{path}: {note}")
+        for error in errors:
+            failed = True
+            print(f"{path}: {error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
