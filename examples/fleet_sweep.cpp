@@ -9,7 +9,11 @@
 //      loudly instead of silently diverging;
 //   3. run the same seed list serially and through fork-based workers and
 //      check the summaries match *exactly* (seed-partition determinism:
-//      trial t always runs seed_gen.fork(t), records merge by trial index).
+//      trial t always runs seed_gen.fork(t), records merge by trial index);
+//   4. re-run under the supervisor with the flight recorder attached
+//      (src/obs/) — the same hookup `popsim --metrics F --trace F`
+//      automates — and write the metrics snapshot + Chrome trace timeline
+//      to disk.
 #include <cstdio>
 #include <string>
 
@@ -17,8 +21,11 @@
 #include "core/fast_election.h"
 #include "dynamics/epidemic.h"
 #include "fleet/artifact.h"
+#include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 int main() {
   const pp::node_id n = 2000;
@@ -59,6 +66,39 @@ int main() {
                          serial.steps.stddev == fleet.steps.stddev &&
                          serial.stabilized_fraction == fleet.stabilized_fraction;
   std::printf("merged summaries identical: %s\n", identical ? "yes" : "NO");
+
+  // The same sweep once more, supervised and flight-recorded: the trace
+  // collects the supervisor timeline (spawn/assign/record/merge spans and
+  // instants, one track per worker slot), the registry the fleet.*
+  // counters.  `popsim --metrics F --trace F --jobs W` wires exactly this —
+  // plus per-trial worker spans and engine.* probe rollups via exec-worker
+  // sidecars, which fork-mode workers don't write.
+  pp::obs::metrics_registry metrics;
+  pp::obs::trace_writer trace;
+  pp::fleet::supervise_options sup;
+  sup.metrics = &metrics;
+  sup.trace = &trace;
+  const auto recorded = pp::summarize_election_results(
+      pp::fleet::supervised_fleet_run(
+          trials, pp::rng(7),
+          [&](std::uint64_t, pp::rng gen) { return rebuilt.run(gen, {}); }, 2,
+          sup));
+  const bool recorded_identical = serial.steps.mean == recorded.steps.mean;
+  const std::string metrics_path = "/tmp/fleet_sweep_example_metrics.json";
+  const std::string trace_path = "/tmp/fleet_sweep_example_trace.json";
+  const bool wrote = metrics.write_json(metrics_path) &&
+                     trace.write_json(trace_path);
+  std::printf("recorded sweep: identical again: %s; %llu records received, "
+              "%llu workers spawned\n",
+              recorded_identical ? "yes" : "NO",
+              static_cast<unsigned long long>(
+                  metrics.counter("fleet.records_received")),
+              static_cast<unsigned long long>(
+                  metrics.counter("fleet.workers_spawned")));
+  std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+  std::printf("trace timeline:   %s  (load in chrome://tracing or "
+              "ui.perfetto.dev)\n", trace_path.c_str());
+
   std::remove(path.c_str());
-  return identical ? 0 : 1;
+  return identical && recorded_identical && wrote ? 0 : 1;
 }

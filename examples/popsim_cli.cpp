@@ -53,6 +53,17 @@
 //             streaming length-prefixed records to stdout; the supervisor
 //             appends an explicit BASE COUNT trial range and optionally a
 //             fault spec list
+//   --metrics  write a deterministic run_metrics.json-style snapshot
+//             (src/obs/metrics.h) after the sweep: fleet.* supervisor
+//             counters plus engine.* probe counters rolled up from the
+//             workers' sidecars
+//   --trace   write a Chrome trace-event JSON timeline (src/obs/trace.h) of
+//             the sweep — supervisor spans/instants plus per-trial worker
+//             spans — loadable in chrome://tracing or ui.perfetto.dev
+//   --probe-stride  census-sampling stride for the engine probes riding
+//             --metrics/--trace (default 1024 steps)
+//   --log-level  stderr chattiness: error|warn|info|debug (default info;
+//             the POPSIM_LOG env var sets the same threshold)
 //
 // Every invalid invocation exits nonzero (2 for usage errors, 1 for runtime
 // failures) — the fleet CI gates pipe this binary and depend on it.
@@ -80,6 +91,10 @@
 #include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "graph/io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
+#include "obs/trace.h"
 #include "support/parse.h"
 
 namespace {
@@ -115,7 +130,15 @@ int usage() {
                "  --worker-timeout-ms N  kill a worker silent for N ms and"
                " respawn it (default: no timeout)\n"
                "  --inject-fault SPECS  deterministic worker faults, comma-"
-               "separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]\n");
+               "separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]\n"
+               "  --metrics FILE  write a JSON metrics snapshot (fleet.* "
+               "supervisor + engine.* probe counters) after the sweep\n"
+               "  --trace FILE  write a Chrome trace-event JSON timeline of "
+               "the sweep (chrome://tracing / ui.perfetto.dev)\n"
+               "  --probe-stride N  census-sampling stride for the probes "
+               "riding --metrics/--trace (default 1024)\n"
+               "  --log-level L  stderr threshold error|warn|info|debug "
+               "(default info; POPSIM_LOG sets the same)\n");
   return 2;
 }
 
@@ -140,13 +163,20 @@ struct cli_config {
   bool retries_requested = false;
   std::uint64_t worker_timeout_ms = 0;
   std::vector<pp::fleet::fault_spec> faults;
+  std::string metrics_path;
+  std::string trace_path;
+  std::uint64_t probe_stride = pp::obs::run_probe::kDefaultStride;
+  bool probe_stride_requested = false;
 
-  // Any supervision flag routes the sweep through the fault-tolerant
-  // supervisor (fleet/supervisor.h) even at --jobs 1, so journaling and
-  // resume work for serial sweeps too.
+  // Any supervision or observability flag routes the sweep through the
+  // fault-tolerant supervisor (fleet/supervisor.h) even at --jobs 1, so
+  // journaling, resume and the flight recorder work for serial sweeps too.
   bool supervised() const {
     return !journal_path.empty() || resume || retries_requested ||
-           worker_timeout_ms > 0 || !faults.empty();
+           worker_timeout_ms > 0 || !faults.empty() || observed();
+  }
+  bool observed() const {
+    return !metrics_path.empty() || !trace_path.empty();
   }
 
   pp::fleet::supervise_options supervision() const {
@@ -157,6 +187,7 @@ struct cli_config {
     sup.resume = resume;
     sup.journal_tag = seed;
     sup.faults = faults;
+    sup.probe_stride = probe_stride;
     return sup;
   }
 };
@@ -241,6 +272,35 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
                      "popsim: --worker-timeout-ms must be in [1, 3600000]\n");
         return false;
       }
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      cfg.metrics_path = argv[++i];
+      if (cfg.metrics_path.empty()) {
+        std::fprintf(stderr, "popsim: --metrics needs a file path\n");
+        return false;
+      }
+    } else if (flag == "--trace" && i + 1 < argc) {
+      cfg.trace_path = argv[++i];
+      if (cfg.trace_path.empty()) {
+        std::fprintf(stderr, "popsim: --trace needs a file path\n");
+        return false;
+      }
+    } else if (flag == "--probe-stride" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.probe_stride) || cfg.probe_stride < 1 ||
+          cfg.probe_stride > 1'000'000'000'000ull) {
+        std::fprintf(stderr,
+                     "popsim: --probe-stride must be in [1, 10^12]\n");
+        return false;
+      }
+      cfg.probe_stride_requested = true;
+    } else if (flag == "--log-level" && i + 1 < argc) {
+      pp::obs::log_level level = pp::obs::log_level::info;
+      const std::string name = argv[++i];
+      if (!pp::obs::parse_log_level(name, level)) {
+        std::fprintf(stderr,
+                     "popsim: --log-level must be error, warn, info or debug\n");
+        return false;
+      }
+      pp::obs::set_log_threshold(level);
     } else if (flag == "--inject-fault" && i + 1 < argc) {
       const std::string specs = argv[++i];
       if (!pp::fleet::parse_fault_specs(specs, cfg.faults)) {
@@ -263,6 +323,11 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
 bool validate_fleet_flags(const cli_config& cfg) {
   if (cfg.resume && cfg.journal_path.empty()) {
     std::fprintf(stderr, "popsim: --resume needs --journal\n");
+    return false;
+  }
+  if (cfg.probe_stride_requested && !cfg.observed()) {
+    std::fprintf(stderr,
+                 "popsim: --probe-stride needs --metrics or --trace\n");
     return false;
   }
   for (const pp::fleet::fault_spec& f : cfg.faults) {
@@ -297,6 +362,9 @@ class temp_file {
   temp_file& operator=(const temp_file&) = delete;
 
   const std::string& path() const { return path_; }
+  // The private mkdtemp directory itself — the fleet path reuses it as the
+  // worker sidecar directory (supervisor.h), same lifetime and permissions.
+  const std::string& dir() const { return dir_; }
 
  private:
   std::string dir_;
@@ -326,9 +394,30 @@ pp::election_summary run_fleet(const std::string& artifact_path,
   std::fprintf(stderr, "popsim: fleet sweep, %d workers x %llu-trial blocks\n",
                manifest.jobs,
                static_cast<unsigned long long>(cfg.trials / cfg.jobs));
+  // Flight recorder (src/obs/): the supervisor fills the borrowed registry
+  // and timeline, workers drop sidecars into the manifest's private temp
+  // directory, and the snapshots are serialised once the sweep is merged.
+  pp::obs::metrics_registry metrics;
+  pp::obs::trace_writer trace;
+  pp::fleet::supervise_options sup = cfg.supervision();
+  if (!cfg.metrics_path.empty()) sup.metrics = &metrics;
+  if (!cfg.trace_path.empty()) sup.trace = &trace;
+  if (cfg.observed()) sup.sidecar_dir = manifest_file.dir();
   const auto results = pp::fleet::supervised_spawn_sweep(
-      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest,
-      cfg.supervision(), inline_fn);
+      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest, sup,
+      inline_fn);
+  if (!cfg.metrics_path.empty()) {
+    pp::ensure(metrics.write_json(cfg.metrics_path),
+               "popsim: cannot write --metrics " + cfg.metrics_path);
+    pp::obs::logf(pp::obs::log_level::info, "popsim: metrics -> %s",
+                  cfg.metrics_path.c_str());
+  }
+  if (!cfg.trace_path.empty()) {
+    pp::ensure(trace.write_json(cfg.trace_path),
+               "popsim: cannot write --trace " + cfg.trace_path);
+    pp::obs::logf(pp::obs::log_level::info, "popsim: trace -> %s",
+                  cfg.trace_path.c_str());
+  }
   return pp::summarize_election_results(results);
 }
 
@@ -481,6 +570,76 @@ int run_tuned_mode(const pp::tuned_runner<P>& runner,
   return 0;
 }
 
+// Worker-side flight recorder: the supervisor's exec launcher sets
+// POPSIM_OBS_SIDECAR / POPSIM_TRACE_SIDECAR / POPSIM_PROBE_STRIDE
+// (fleet/supervisor.cpp) to request per-trial probe metrics and trace
+// spans.  Both sidecars are rewritten after every completed trial, so a
+// worker SIGKILLed mid-chunk leaves the last completed trial's snapshot
+// behind — the same lose-only-the-tail contract as the .ppaj journal — and
+// the supervisor merges whatever survived.
+struct worker_obs {
+  std::string metrics_path;
+  std::string trace_path;
+  std::uint64_t stride = pp::obs::run_probe::kDefaultStride;
+  pp::obs::metrics_registry metrics;
+  pp::obs::trace_writer trace;
+
+  worker_obs() {
+    if (const char* p = std::getenv("POPSIM_OBS_SIDECAR")) metrics_path = p;
+    if (const char* p = std::getenv("POPSIM_TRACE_SIDECAR")) trace_path = p;
+    if (const char* p = std::getenv("POPSIM_PROBE_STRIDE")) {
+      std::uint64_t v = 0;
+      if (parse_u64(p, v) && v >= 1) stride = v;
+    }
+    if (!trace_path.empty()) {
+      trace.name_process("popsim worker");
+      trace.name_thread(0, "trials");
+    }
+  }
+  bool on() const { return !metrics_path.empty() || !trace_path.empty(); }
+
+  // Runs one trial through `run(gen, probe)`; `run` must accept either a
+  // null_probe* (observability off: the engines' zero-cost path) or a
+  // run_probe* whose stats are rolled into the sidecars.
+  template <typename RunFn>
+  pp::election_result trial(std::uint64_t t, pp::rng gen, RunFn&& run) {
+    if (!on()) return run(gen, static_cast<pp::obs::null_probe*>(nullptr));
+    pp::obs::run_probe probe(stride);
+    const std::int64_t t0 = pp::obs::trace_now_us();
+    const pp::election_result r = run(gen, &probe);
+    const std::int64_t t1 = pp::obs::trace_now_us();
+    const pp::obs::probe_stats& st = probe.stats();
+    if (!trace_path.empty()) {
+      trace.begin_at("trial", 0, t0, {pp::obs::trace_arg::num("trial", t)});
+      trace.end_at(
+          "trial", 0, t1,
+          {pp::obs::trace_arg::num("steps", st.steps),
+           pp::obs::trace_arg::num("active_steps", st.active_steps),
+           pp::obs::trace_arg::num(
+               "leader", static_cast<std::int64_t>(r.leader))});
+      trace.write_sidecar(trace_path);
+    }
+    if (!metrics_path.empty()) {
+      metrics.add("engine.trials");
+      metrics.add("engine.steps", st.steps);
+      metrics.add("engine.active_steps", st.active_steps);
+      metrics.add("engine.predicate_evals", st.predicate_evals);
+      metrics.add("engine.rng_draws", st.rng_draws);
+      metrics.add("engine.table_fills", st.table_fills);
+      metrics.add("engine.batches", st.batches);
+      metrics.add("engine.batch_retries", st.batch_retries);
+      metrics.add("engine.census_samples",
+                  static_cast<std::uint64_t>(st.census.size()));
+      metrics.observe("engine.steps_per_trial", st.steps);
+      metrics.observe("engine.silent_steps_per_trial", st.silent_steps());
+      metrics.observe("engine.trial_duration_us",
+                      static_cast<std::uint64_t>(t1 - t0));
+      metrics.write_text(metrics_path);
+    }
+    return r;
+  }
+};
+
 // popsim --worker MANIFEST INDEX [BASE COUNT [FAULTS]]: load the manifest +
 // artifact, rebuild and validate the sweep, and stream a trial block to
 // stdout as length-prefixed records.  Nothing else may touch stdout here.
@@ -529,6 +688,7 @@ int worker_main(int argc, char** argv) {
                   : pp::fleet::worker_range(manifest.trials, manifest.jobs,
                                             static_cast<int>(index));
     const pp::fleet::fault_injector injector(faults, static_cast<int>(index));
+    worker_obs obs;
     const auto artifact = pp::fleet::load_artifact(manifest.artifact_path);
     pp::sim_options options;
     options.max_steps = manifest.max_steps;
@@ -546,7 +706,11 @@ int worker_main(int argc, char** argv) {
         pp::fleet::validate_tuned_artifact(artifact, runner);
         pp::fleet::run_trial_block(
             range, STDOUT_FILENO,
-            [&](std::uint64_t, pp::rng gen) { return runner.run(gen, options); },
+            [&](std::uint64_t t, pp::rng gen) {
+              return obs.trial(t, gen, [&](pp::rng g, auto* probe) {
+                return runner.run(g, options, probe);
+              });
+            },
             trial_gen, injector);
       });
       return 0;
@@ -560,7 +724,11 @@ int worker_main(int argc, char** argv) {
       pp::fleet::validate_wellmixed_artifact(artifact, proto, sweep.initial());
       pp::fleet::run_trial_block(
           range, STDOUT_FILENO,
-          [&](std::uint64_t, pp::rng gen) { return sweep.run(gen, options); },
+          [&](std::uint64_t t, pp::rng gen) {
+            return obs.trial(t, gen, [&](pp::rng g, auto* probe) {
+              return sweep.run(g, options, probe);
+            });
+          },
           trial_gen, injector);
     };
     if (artifact.protocol.kind == pp::fleet::protocol_kind::fast) {
@@ -696,9 +864,9 @@ int main(int argc, char** argv) {
     if ((cfg.jobs > 1 || cfg.supervised() || !cfg.save_path.empty()) &&
         !compiled_engine) {
       std::fprintf(stderr,
-                   "popsim: --jobs/--save-artifact/--journal/--inject-fault "
-                   "need the compiled engine (protocol fast or star, or "
-                   "--engine wellmixed)\n");
+                   "popsim: --jobs/--save-artifact/--journal/--inject-fault/"
+                   "--metrics/--trace need the compiled engine (protocol fast "
+                   "or star, or --engine wellmixed)\n");
       return usage();
     }
 

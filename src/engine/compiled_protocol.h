@@ -277,6 +277,13 @@ class compiled_protocol {
 
   bool closed() const { return closed_; }
 
+  // Lazily compiled pairs so far (monotone; frozen once the table closes).
+  // Engine probes (obs/probe.h) difference this across a run to report how
+  // much of the run's table was materialised on demand — the cost a closed
+  // table amortises away.  Maintained unconditionally: compile_pair is the
+  // cold path (each pair compiles once), so the increment is free.
+  std::uint64_t lazy_fills() const { return fills_; }
+
  private:
   std::array<std::int8_t, kMaxCensusCounters> contribution_of(const state_type& s) const {
     std::int64_t t[kMaxCensusCounters] = {};
@@ -299,6 +306,7 @@ class compiled_protocol {
                                             contrib_[a][i] - contrib_[b][i]);
     }
     table_[static_cast<std::size_t>(a) * cap_ + b] = e;
+    ++fills_;
     return e;
   }
 
@@ -324,6 +332,7 @@ class compiled_protocol {
   std::vector<std::array<std::int8_t, kMaxCensusCounters>> contrib_;
   std::vector<std::uint8_t> classes_;  // edge-census protocols only
   std::unordered_map<std::uint64_t, state_id> index_;  // encode(s) -> id
+  std::uint64_t fills_ = 0;  // pairs compiled lazily (see lazy_fills())
   bool closed_ = false;
 };
 

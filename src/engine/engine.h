@@ -52,6 +52,7 @@
 #include "engine/edgecensus/edgecensus.h"
 #include "graph/graph.h"
 #include "graph/reorder.h"
+#include "obs/probe.h"
 #include "sched/scheduler.h"
 #include "support/expects.h"
 
@@ -138,11 +139,19 @@ node_id elected_leader_compiled(const std::vector<W>& config,
 // run on a relabelled graph is the exact original process under an
 // isomorphism.  nullptr (the default) leaves behaviour — and the PR 2
 // bit-identity with the reference simulator — untouched.
-template <compilable_protocol P>
+//
+// `probe` (obs/probe.h) collects phase telemetry when Probe::enabled; with
+// the default null_probe every hook is an `if constexpr` dead branch, so the
+// instrumented loop compiles to the uninstrumented one.  Probes only read
+// the run — they never alter the draw stream, the stopping step or the
+// result (the zero-cost/determinism contract bench/obs.cpp and
+// tests/test_obs.cpp enforce).
+template <compilable_protocol P, typename Probe = obs::null_probe>
 election_result run_compiled(compiled_protocol<P>& compiled,
                              const edge_endpoints& edges, const graph& g,
                              rng gen, const sim_options& options = {},
-                             const std::vector<node_id>* old_of_new = nullptr) {
+                             const std::vector<node_id>* old_of_new = nullptr,
+                             [[maybe_unused]] Probe* probe = nullptr) {
   using traits = census_model_t<P>;
   constexpr bool kEdgeCensus = edge_census_protocol<P>;
   const P& proto = compiled.protocol();
@@ -177,7 +186,12 @@ election_result run_compiled(compiled_protocol<P>& compiled,
     }
     ecensus.reset(cls, g.edges());
   }
+  if constexpr (Probe::enabled) {
+    expects(probe != nullptr, "run_compiled: enabled probe type needs a probe");
+  }
+  [[maybe_unused]] const std::uint64_t fills_at_start = compiled.lazy_fills();
   const auto stable_now = [&] {
+    if constexpr (Probe::enabled) probe->on_predicate_evals(1);
     if constexpr (kEdgeCensus) {
       return traits::stable(totals, ecensus.pairs());
     } else {
@@ -220,6 +234,9 @@ election_result run_compiled(compiled_protocol<P>& compiled,
       if (census) {
         for (const auto s : seen) result.distinct_states_used += s;
       }
+      if constexpr (Probe::enabled) {
+        probe->on_table_fills(compiled.lazy_fills() - fills_at_start);
+      }
       return result;
     }
     // The max_steps bound is folded into the block length, and the stability
@@ -238,6 +255,13 @@ election_result run_compiled(compiled_protocol<P>& compiled,
     const std::size_t len =
         remaining < kBatch ? static_cast<std::size_t>(remaining) : kBatch;
     for (std::size_t i = 0; i < len; ++i) picks[i] = draw.uniform_below(two_m);
+    if constexpr (Probe::enabled) probe->on_draws(len);
+    // Step/active counts accumulate in locals and flush once per batch: a
+    // per-step read-modify-write through the probe pointer is measurable at
+    // this loop's step rate, a register add is not (bench/obs.cpp gates the
+    // enabled path at <= 10%).
+    [[maybe_unused]] const std::uint64_t probe_base = steps;
+    [[maybe_unused]] std::uint64_t probe_active = 0;
     for (std::size_t i = 0; i < len; ++i) {
       if (i + kAhead < len) {
         __builtin_prefetch(&pairs[picks[i + kAhead]], /*rw=*/0, /*locality=*/1);
@@ -251,6 +275,9 @@ election_result run_compiled(compiled_protocol<P>& compiled,
       config[u] = e.a2;
       config[v] = e.b2;
       ++steps;
+      if constexpr (Probe::enabled) {
+        probe_active += (e.a2 != ca || e.b2 != cb) ? 1u : 0u;
+      }
       if (census) {
         if (e.a2 != ca) mark(e.a2);
         if (e.b2 != cb) mark(e.b2);
@@ -280,6 +307,17 @@ election_result run_compiled(compiled_protocol<P>& compiled,
           if (stable_now()) break;
         }
       }
+      // Sampled after the delta lands, so a sample at step s reports the
+      // census *after* s steps; the stabilizing step breaks above and is
+      // reported by the result instead.
+      if constexpr (Probe::enabled) {
+        if (probe->want_census(steps)) {
+          probe->on_census(steps, totals, traits::kCounters);
+        }
+      }
+    }
+    if constexpr (Probe::enabled) {
+      probe->on_steps(steps - probe_base, probe_active);
     }
   }
 
@@ -289,6 +327,9 @@ election_result run_compiled(compiled_protocol<P>& compiled,
     for (const auto s : seen) result.distinct_states_used += s;
   }
   result.leader = elected_leader_compiled(config, compiled, old_of_new);
+  if constexpr (Probe::enabled) {
+    probe->on_table_fills(compiled.lazy_fills() - fills_at_start);
+  }
   return result;
 }
 
@@ -395,14 +436,16 @@ packed_start<W> make_packed_start(const compiled_protocol<P>& compiled,
 // given, replaces the per-trial initial-state computation with copies of the
 // precomputed values (identical by construction, so bit-identity holds
 // either way).
-template <typename W, typename N, compilable_protocol P>
+template <typename W, typename N, compilable_protocol P,
+          typename Probe = obs::null_probe>
 election_result run_packed(const compiled_protocol<P>& compiled,
                            const packed_table<W, P>& table,
                            const packed_endpoints<N>& edges, const graph& g,
                            rng gen, const sim_options& options = {},
                            const std::vector<node_id>* old_of_new = nullptr,
                            const packed_csr<N>* adjacency = nullptr,
-                           const packed_start<W>* start = nullptr) {
+                           const packed_start<W>* start = nullptr,
+                           [[maybe_unused]] Probe* probe = nullptr) {
   using traits = census_model_t<P>;
   constexpr bool kEdgeCensus = edge_census_protocol<P>;
   const node_id n = g.num_nodes();
@@ -435,7 +478,11 @@ election_result run_packed(const compiled_protocol<P>& compiled,
   }
   edge_class_census ecensus;
   if constexpr (kEdgeCensus) ecensus = start->ecensus;
+  if constexpr (Probe::enabled) {
+    expects(probe != nullptr, "run_packed: enabled probe type needs a probe");
+  }
   const auto stable_now = [&] {
+    if constexpr (Probe::enabled) probe->on_predicate_evals(1);
     if constexpr (kEdgeCensus) {
       return traits::stable(totals, ecensus.pairs());
     } else {
@@ -483,6 +530,11 @@ election_result run_packed(const compiled_protocol<P>& compiled,
     const std::size_t len =
         remaining < kBatch ? static_cast<std::size_t>(remaining) : kBatch;
     for (std::size_t i = 0; i < len; ++i) picks[i] = draw.uniform_below(two_m);
+    if constexpr (Probe::enabled) probe->on_draws(len);
+    // Same batched probe accumulation as run_compiled: locals in registers,
+    // one on_steps flush per batch.
+    [[maybe_unused]] const std::uint64_t probe_base = steps;
+    [[maybe_unused]] std::uint64_t probe_active = 0;
     for (std::size_t i = 0; i < len; ++i) {
       if (i + kPairAhead < len) {
         const std::uint64_t k = picks[i + kPairAhead];
@@ -507,6 +559,9 @@ election_result run_packed(const compiled_protocol<P>& compiled,
       config[u] = e.a2;
       config[v] = e.b2;
       ++steps;
+      if constexpr (Probe::enabled) {
+        probe_active += (e.a2 != ca || e.b2 != cb) ? 1u : 0u;
+      }
       if (census) {
         if (e.a2 != ca) seen[e.a2] = 1;
         if (e.b2 != cb) seen[e.b2] = 1;
@@ -533,6 +588,14 @@ election_result run_packed(const compiled_protocol<P>& compiled,
           if (stable_now()) break;
         }
       }
+      if constexpr (Probe::enabled) {
+        if (probe->want_census(steps)) {
+          probe->on_census(steps, totals, traits::kCounters);
+        }
+      }
+    }
+    if constexpr (Probe::enabled) {
+      probe->on_steps(steps - probe_base, probe_active);
     }
   }
 
@@ -642,15 +705,22 @@ class tuned_runner {
   // calls: packed state is read-only, and the lazy fallback compiles a local
   // table per call.
   election_result run(rng gen, const sim_options& options = {}) const {
+    return run(gen, options, static_cast<obs::null_probe*>(nullptr));
+  }
+
+  // Probed variant: same dispatch, same trajectory (the probe only reads).
+  template <typename Probe>
+  election_result run(rng gen, const sim_options& options, Probe* probe) const {
     const auto* map = old_of_new_.empty() ? nullptr : &old_of_new_;
     if (!closed_) {
       compiled_protocol<P> local(*proto_);
-      return run_compiled(local, *fallback_edges_, run_graph(), gen, options, map);
+      return run_compiled(local, *fallback_edges_, run_graph(), gen, options,
+                          map, probe);
     }
     switch (pack_bits_) {
-      case 8: return run_width<std::uint8_t>(gen, options, map);
-      case 16: return run_width<std::uint16_t>(gen, options, map);
-      default: return run_width<std::uint32_t>(gen, options, map);
+      case 8: return run_width<std::uint8_t>(gen, options, map, probe);
+      case 16: return run_width<std::uint16_t>(gen, options, map, probe);
+      default: return run_width<std::uint32_t>(gen, options, map, probe);
     }
   }
 
@@ -737,9 +807,10 @@ class tuned_runner {
         compiled_, run_graph(), old_of_new_.empty() ? nullptr : &old_of_new_);
   }
 
-  template <typename W>
+  template <typename W, typename Probe>
   election_result run_width(rng gen, const sim_options& options,
-                            const std::vector<node_id>* map) const {
+                            const std::vector<node_id>* map,
+                            Probe* probe) const {
     const auto& table = std::get<packed_table<W, P>>(table_);
     const auto& start = std::get<packed_start<W>>(start_);
     // get_if yields nullptr while csr_ holds monostate — exactly the
@@ -747,12 +818,14 @@ class tuned_runner {
     if (const auto* e16 =
             std::get_if<packed_endpoints<std::uint16_t>>(&pairs_)) {
       return run_packed(compiled_, table, *e16, run_graph(), gen, options, map,
-                        std::get_if<packed_csr<std::uint16_t>>(&csr_), &start);
+                        std::get_if<packed_csr<std::uint16_t>>(&csr_), &start,
+                        probe);
     }
     return run_packed(compiled_, table,
                       std::get<packed_endpoints<std::uint32_t>>(pairs_),
                       run_graph(), gen, options, map,
-                      std::get_if<packed_csr<std::uint32_t>>(&csr_), &start);
+                      std::get_if<packed_csr<std::uint32_t>>(&csr_), &start,
+                      probe);
   }
 
   const P* proto_;

@@ -54,6 +54,7 @@
 #include "engine/compiled_protocol.h"
 #include "engine/engine.h"  // kEngineClosureBudget, shared with the sweeps
 #include "engine/wellmixed/sampling.h"
+#include "obs/probe.h"
 #include "support/expects.h"
 #include "support/rng.h"
 
@@ -115,14 +116,26 @@ struct pair_class {
 // exchangeable) and -1 otherwise, and `distinct_states_used` counts states
 // whose multiplicity was ever positive (transient states that would only
 // exist inside an unordered batch are not observable and not counted).
-template <node_census_protocol P>
+// `probe` (obs/probe.h): phase telemetry under the same zero-cost contract
+// as run_compiled — with the default null_probe every hook is an
+// `if constexpr` dead branch, and an enabled probe never alters the draw
+// stream or the result.  Batch semantics: steps are credited batch-wise
+// (on_steps), batch retries (the multinomial over-drew) are counted, and
+// rng draws are tracked only on the exact per-interaction path (the batch
+// samplers' internal draw counts are distribution-dependent).
+template <node_census_protocol P, typename Probe = obs::null_probe>
 election_result run_wellmixed(compiled_protocol<P>& compiled,
                               const wellmixed_multiset<P>& initial,
                               std::uint64_t n, rng gen,
-                              const sim_options& options = {}) {
+                              const sim_options& options = {},
+                              [[maybe_unused]] Probe* probe = nullptr) {
   using traits = census_traits<P>;
   using wellmixed_detail::pair_class;
   expects(n >= 2, "run_wellmixed: population must have at least 2 agents");
+  if constexpr (Probe::enabled) {
+    expects(probe != nullptr, "run_wellmixed: enabled probe type needs a probe");
+  }
+  [[maybe_unused]] const std::uint64_t fills_at_start = compiled.lazy_fills();
 
   // ---- configuration: counts over interned ids, O(|Λ|) ----
   std::vector<std::uint64_t> counts;
@@ -198,6 +211,8 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
   std::vector<pair_class> classes, prefix, seg, left, right;
   std::vector<std::uint32_t> touched;
   std::int64_t batch_delta[kMaxCensusCounters];
+  // Probe only: non-silent steps of the last accumulated composition.
+  [[maybe_unused]] std::uint64_t batch_active = 0;
 
   // Occupied ids (count > 0), maintained incrementally across batches and
   // compacted + sorted by descending count at each batch start, so batch
@@ -234,10 +249,14 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       }
       net[id] += d;
     };
+    if constexpr (Probe::enabled) batch_active = 0;
     for (const auto& pc : cls) {
       const auto e = xition(pc.a, pc.b);
       ensure_sized();  // the transition may have interned new states
       const auto k = static_cast<std::int64_t>(pc.k);
+      if constexpr (Probe::enabled) {
+        if (e.a2 != pc.a || e.b2 != pc.b) batch_active += pc.k;
+      }
       bump(pc.a, -k);
       bump(pc.b, -k);
       bump(e.a2, +k);
@@ -458,6 +477,10 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       ++b;
     }
     const auto e = xition(a, b);
+    if constexpr (Probe::enabled) {
+      probe->on_draws(2);
+      probe->on_step(e.a2 != a || e.b2 != b);
+    }
     ensure_sized();
     --counts[a];
     --counts[b];
@@ -512,6 +535,7 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       for (int c = 0; c < traits::kCounters; ++c) {
         after_left[c] = start[c] + left_delta[c];
       }
+      if constexpr (Probe::enabled) probe->on_predicate_evals(1);
       if (traits::stable(after_left)) {
         seg.swap(left);
         seg_total = left_total;
@@ -527,13 +551,36 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
     return done + 1;
   };
 
+  // Probe-only epilogue per advance: credit the steps and sample the census
+  // trajectory at stride crossings (totals are already post-advance here).
+  const auto probe_advance = [&]([[maybe_unused]] std::uint64_t applied,
+                                 [[maybe_unused]] std::uint64_t active,
+                                 [[maybe_unused]] std::uint64_t now) {
+    if constexpr (Probe::enabled) {
+      if (applied > 0) {
+        probe->on_steps(applied, active);
+        probe->on_batch();
+      }
+      if (probe->want_census(now)) {
+        probe->on_census(now, totals, traits::kCounters);
+      }
+    }
+  };
+  const auto stable_totals = [&] {
+    if constexpr (Probe::enabled) probe->on_predicate_evals(1);
+    return traits::stable(totals);
+  };
+
   election_result result;
   std::uint64_t steps = 0;
-  while (!traits::stable(totals)) {
+  while (!stable_totals()) {
     if (steps >= options.max_steps) {
       result.steps = steps;
       if (census) {
         for (const auto s : seen) result.distinct_states_used += s;
+      }
+      if constexpr (Probe::enabled) {
+        probe->on_table_fills(compiled.lazy_fills() - fills_at_start);
       }
       return result;
     }
@@ -541,22 +588,26 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
     if (options.max_steps - steps < B) B = options.max_steps - steps;
     while (true) {
       if (B <= 1) {
-        single_step();
+        single_step();  // records its own on_step/on_draws
         ++steps;
+        probe_advance(0, 0, steps);
         break;
       }
       sample_batch(B);
       if (!accumulate_net(classes)) {
         B /= 2;  // over-drew a near-empty class: retry at half the leap
+        if constexpr (Probe::enabled) probe->on_batch_retry();
         continue;
       }
       std::int64_t after[kMaxCensusCounters];
       for (int c = 0; c < traits::kCounters; ++c) {
         after[c] = totals[c] + batch_delta[c];
       }
+      if constexpr (Probe::enabled) probe->on_predicate_evals(1);
       if (!traits::stable(after)) {
         apply_net();
         steps += B;
+        probe_advance(B, batch_active, steps);
         break;
       }
       // The predicate flips inside this batch: bisect for the exact step.
@@ -567,10 +618,12 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       const std::uint64_t t = first_stable_prefix(start, B);
       if (!accumulate_net(prefix)) {
         B /= 2;
+        if constexpr (Probe::enabled) probe->on_batch_retry();
         continue;
       }
       apply_net();
       steps += t;
+      probe_advance(t, batch_active, steps);
       break;
     }
   }
@@ -586,17 +639,21 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       break;
     }
   }
+  if constexpr (Probe::enabled) {
+    probe->on_table_fills(compiled.lazy_fills() - fills_at_start);
+  }
   return result;
 }
 
 // Convenience wrapper: compiles the protocol lazily and runs one well-mixed
 // election on a clique of n agents from the protocol's initial states.
-template <node_census_protocol P>
+template <node_census_protocol P, typename Probe = obs::null_probe>
 election_result run_wellmixed(const P& proto, std::uint64_t n, rng gen,
-                              const sim_options& options = {}) {
+                              const sim_options& options = {},
+                              Probe* probe = nullptr) {
   compiled_protocol<P> compiled(proto);
   const auto initial = initial_multiset(proto, n);
-  return run_wellmixed(compiled, initial, n, gen, options);
+  return run_wellmixed(compiled, initial, n, gen, options, probe);
 }
 
 // Prepared multi-trial well-mixed sweep: the shared initial multiset plus a
@@ -621,9 +678,17 @@ class wellmixed_sweep {
   // shared, the closed table is never mutated; otherwise the trial runs on
   // its own local table.
   election_result run(rng gen, const sim_options& options = {}) const {
-    if (shared_) return run_wellmixed(compiled_, initial_, n_, gen, options);
+    return run(gen, options, static_cast<obs::null_probe*>(nullptr));
+  }
+
+  // Probed variant: same trial, same trajectory (the probe only reads).
+  template <typename Probe>
+  election_result run(rng gen, const sim_options& options, Probe* probe) const {
+    if (shared_) {
+      return run_wellmixed(compiled_, initial_, n_, gen, options, probe);
+    }
     compiled_protocol<P> local(*proto_);
-    return run_wellmixed(local, initial_, n_, gen, options);
+    return run_wellmixed(local, initial_, n_, gen, options, probe);
   }
 
   const wellmixed_multiset<P>& initial() const { return initial_; }

@@ -14,6 +14,9 @@
 #include <functional>
 #include <optional>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/expects.h"
 
 namespace pp::fleet {
@@ -125,6 +128,21 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
   expects(!options.resume || !options.journal_path.empty(),
           std::string(what) + ": resume needs a journal path");
 
+  // Borrowed observability sinks (supervisor.h): tid 0 carries the poll
+  // loop's events, tid slot+1 the span covering worker slot's lifetime.
+  obs::trace_writer* const trace = options.trace;
+  obs::metrics_registry* const metrics = options.metrics;
+  if (trace != nullptr) {
+    trace->name_process(what);
+    trace->name_thread(0, "supervisor");
+    for (int i = 0; i < jobs; ++i) {
+      trace->name_thread(i + 1, "slot " + std::to_string(i));
+    }
+    trace->begin("supervise", 0,
+                 {obs::trace_arg::num("trials", trials),
+                  obs::trace_arg::num("jobs", static_cast<std::int64_t>(jobs))});
+  }
+
   std::vector<election_result> results(trials);
   std::vector<std::uint8_t> received(trials, 0);
   std::uint64_t completed = 0;
@@ -142,14 +160,30 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
         received[r.trial] = 1;       // determinism: a re-run record is identical,
         results[r.trial] = r.result; // so last-wins replay is safe
       }
-      std::fprintf(stderr,
-                   "fleet supervisor: resumed %llu/%llu trial(s) from %s"
-                   "%s%s\n",
-                   static_cast<unsigned long long>(completed),
-                   static_cast<unsigned long long>(trials),
-                   options.journal_path.c_str(),
-                   replay.corrupt_records > 0 ? " (skipped corrupt records)" : "",
-                   replay.torn_tail ? " (truncated torn tail)" : "");
+      obs::logf(obs::log_level::info,
+                "journal replay: %llu record(s) replayed (%llu/%llu trial(s)), "
+                "%llu corrupt record(s) skipped, torn tail %s, from %s",
+                static_cast<unsigned long long>(replay.records.size()),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(replay.corrupt_records),
+                replay.torn_tail ? "truncated" : "none",
+                options.journal_path.c_str());
+      if (trace != nullptr) {
+        trace->instant(
+            "journal_replay", 0,
+            {obs::trace_arg::num("replayed",
+                                 static_cast<std::uint64_t>(replay.records.size())),
+             obs::trace_arg::num("corrupt", replay.corrupt_records),
+             obs::trace_arg::num("torn_tail",
+                                 static_cast<std::int64_t>(replay.torn_tail ? 1 : 0))});
+      }
+      if (metrics != nullptr) {
+        metrics->add("fleet.journal_replayed",
+                     static_cast<std::uint64_t>(replay.records.size()));
+        metrics->add("fleet.journal_corrupt_skipped", replay.corrupt_records);
+        if (replay.torn_tail) metrics->add("fleet.journal_torn_tails");
+      }
     }
     journal.emplace(options.journal_path, header, options.resume);
   }
@@ -158,7 +192,14 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     if (!received[t]) ++completed;
     received[t] = 1;
     results[t] = r;
-    if (journal) journal->append({t, r});
+    if (journal) {
+      journal->append({t, r});
+      if (metrics != nullptr) metrics->add("fleet.journal_appends");
+    }
+    if (trace != nullptr) {
+      trace->instant("record", 0, {obs::trace_arg::num("trial", t)});
+    }
+    if (metrics != nullptr) metrics->add("fleet.records_received");
   };
 
   std::deque<trial_range> queue = chunk_pending(received, trials, jobs);
@@ -181,7 +222,28 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
   auto start_worker = [&](int i, trial_range chunk) {
     slot_state& s = slots[static_cast<std::size_t>(i)];
     const bool inject = !s.ever_launched && !options.faults.empty();
+    const bool respawn = s.waiting;  // a backoff just elapsed for this slot
     const child_guard::child c = launch(i, chunk, inject, open_read_fds());
+    if (trace != nullptr) {
+      trace->instant(respawn ? "worker_respawn" : "worker_spawn", 0,
+                     {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                      obs::trace_arg::num("pid", static_cast<std::int64_t>(c.pid))});
+      trace->instant("chunk_assign", 0,
+                     {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                      obs::trace_arg::num("base", chunk.base),
+                      obs::trace_arg::num("count", chunk.count)});
+      trace->begin("worker", i + 1,
+                   {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                    obs::trace_arg::num("pid", static_cast<std::int64_t>(c.pid)),
+                    obs::trace_arg::num("base", chunk.base),
+                    obs::trace_arg::num("count", chunk.count),
+                    obs::trace_arg::num("attempt",
+                                        static_cast<std::int64_t>(s.attempts))});
+    }
+    if (metrics != nullptr) {
+      metrics->add(respawn ? "fleet.workers_respawned" : "fleet.workers_spawned");
+      metrics->add("fleet.chunks_assigned");
+    }
     s.ever_launched = true;
     s.pid = c.pid;
     s.fd = c.read_fd;
@@ -214,6 +276,15 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     }
     s.buf.clear();  // a partial trailing record is torn: discard it
     s.running = false;
+    if (trace != nullptr) {
+      // "worker_kill" marks the supervisor disposing of a failed worker,
+      // whether it had to SIGKILL it or just reaped an already-dead one.
+      trace->instant("worker_kill", 0,
+                     {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                      obs::trace_arg::str("reason", why)});
+      trace->end("worker", i + 1, {obs::trace_arg::str("outcome", why)});
+    }
+    if (metrics != nullptr) metrics->add("fleet.worker_failures");
     const trial_range rest{s.chunk.base + s.done, s.chunk.count - s.done};
     if (rest.count == 0) {
       // Every assigned trial arrived before the worker died: nothing to redo.
@@ -232,20 +303,40 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
       }
       delay = std::min<std::int64_t>(delay, options.backoff_max_ms);
       s.respawn_at = steady_clock::now() + std::chrono::milliseconds(delay);
-      std::fprintf(stderr,
-                   "fleet supervisor: worker slot %d failed (%s), %llu trial(s) "
-                   "outstanding; respawning in %lld ms (retry %d/%d)\n",
-                   i, why, static_cast<unsigned long long>(rest.count),
-                   static_cast<long long>(delay), retries_used,
-                   options.max_retries);
+      obs::logf(obs::log_level::warn,
+                "fleet supervisor: worker slot %d failed (%s), %llu trial(s) "
+                "outstanding; respawning in %lld ms (retry %d/%d)",
+                i, why, static_cast<unsigned long long>(rest.count),
+                static_cast<long long>(delay), retries_used,
+                options.max_retries);
+      if (trace != nullptr) {
+        trace->instant("worker_backoff", 0,
+                       {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                        obs::trace_arg::num("delay_ms", delay),
+                        obs::trace_arg::num("retry",
+                                            static_cast<std::int64_t>(retries_used))});
+        trace->instant("chunk_reassign", 0,
+                       {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                        obs::trace_arg::num("base", rest.base),
+                        obs::trace_arg::num("count", rest.count)});
+      }
+      if (metrics != nullptr) metrics->add("fleet.chunks_reassigned");
     } else {
       degraded = true;
       leftover.push_back(rest);
       s.waiting = false;
-      std::fprintf(stderr,
-                   "fleet supervisor: worker slot %d failed (%s) with the retry "
-                   "budget exhausted; %llu trial(s) will run inline\n",
-                   i, why, static_cast<unsigned long long>(rest.count));
+      obs::logf(obs::log_level::warn,
+                "fleet supervisor: worker slot %d failed (%s) with the retry "
+                "budget exhausted; %llu trial(s) will run inline",
+                i, why, static_cast<unsigned long long>(rest.count));
+      if (trace != nullptr) {
+        trace->instant("degrade_inline", 0,
+                       {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                        obs::trace_arg::num("count", rest.count)});
+      }
+      if (metrics != nullptr) {
+        metrics->add("fleet.degraded_chunks");
+      }
     }
   };
 
@@ -293,6 +384,12 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
       // (e.g. an injected exit fault) costs nothing.
       s.running = false;
       s.waiting = false;
+      if (trace != nullptr) {
+        trace->end("worker", i + 1,
+                   {obs::trace_arg::str("outcome", "complete"),
+                    obs::trace_arg::num("records", s.done)});
+      }
+      if (metrics != nullptr) metrics->add("fleet.workers_completed");
       return;
     }
     fail_slot(i, clean ? "stream ended early"
@@ -404,6 +501,15 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
         if (s.running &&
             ms_until(s.last_activity +
                      std::chrono::milliseconds(options.worker_timeout_ms)) <= 0) {
+          if (trace != nullptr) {
+            trace->instant(
+                "inactivity_timeout", 0,
+                {obs::trace_arg::num("slot", static_cast<std::int64_t>(i)),
+                 obs::trace_arg::num(
+                     "timeout_ms",
+                     static_cast<std::int64_t>(options.worker_timeout_ms))});
+          }
+          if (metrics != nullptr) metrics->add("fleet.inactivity_timeouts");
           fail_slot(i, "inactivity timeout");
         }
       }
@@ -418,15 +524,30 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
               [](const trial_range& a, const trial_range& b) {
                 return a.base < b.base;
               });
+    if (trace != nullptr) {
+      trace->begin("inline_degraded", 0,
+                   {obs::trace_arg::num(
+                       "chunks", static_cast<std::uint64_t>(leftover.size()))});
+    }
     for (const trial_range& range : leftover) {
       for (std::uint64_t t = range.base; t < range.base + range.count; ++t) {
-        if (!received[t]) deliver(t, inline_fn(t, seed_gen.fork(t)));
+        if (!received[t]) {
+          deliver(t, inline_fn(t, seed_gen.fork(t)));
+          if (metrics != nullptr) metrics->add("fleet.inline_trials");
+        }
       }
     }
+    if (trace != nullptr) trace->end("inline_degraded", 0);
   }
 
   ensure(completed == trials,
          std::string(what) + ": a trial result never arrived");
+  if (metrics != nullptr) {
+    metrics->set("fleet.jobs", jobs);
+    metrics->set("fleet.trials", static_cast<std::int64_t>(trials));
+    metrics->set("fleet.retries_used", retries_used);
+  }
+  if (trace != nullptr) trace->end("supervise", 0);
   return results;
 }
 
@@ -461,7 +582,8 @@ std::vector<election_result> supervised_fleet_run(
             inject ? fault_injector(options.faults, slot) : fault_injector();
         run_trial_block(chunk, fds[1], fn, seed_gen, injector);
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "fleet worker slot %d: %s\n", slot, e.what());
+        obs::logf(obs::log_level::error, "fleet worker slot %d: %s", slot,
+                  e.what());
         status = 1;
       }
       ::close(fds[1]);
@@ -478,8 +600,35 @@ std::vector<election_result> supervised_spawn_sweep(
     const std::string& exe, const std::string& manifest_path,
     const worker_manifest& manifest, const supervise_options& options,
     const trial_fn& inline_fn) {
+  // Worker observability rides on env vars, not the manifest (the manifest
+  // reader is strict, and sidecar paths are per-(slot, generation) anyway).
+  // The parent remembers every sidecar path it handed out so it can merge
+  // and unlink them after the sweep, torn tails included.
+  const bool sidecars =
+      !options.sidecar_dir.empty() &&
+      (options.trace != nullptr || options.metrics != nullptr);
+  std::vector<int> generation(static_cast<std::size_t>(manifest.jobs), 0);
+  std::vector<std::string> trace_sidecars;
+  std::vector<std::string> metrics_sidecars;
   const launch_fn launch = [&](int slot, trial_range chunk, bool inject,
                                const std::vector<int>& open_fds) {
+    std::string trace_sidecar;
+    std::string metrics_sidecar;
+    std::string stride;
+    if (sidecars) {
+      const int gen = generation[static_cast<std::size_t>(slot)]++;
+      const std::string tag =
+          "_w" + std::to_string(slot) + "_g" + std::to_string(gen);
+      if (options.trace != nullptr) {
+        trace_sidecar = options.sidecar_dir + "/trace" + tag + ".jsonl";
+        trace_sidecars.push_back(trace_sidecar);
+      }
+      if (options.metrics != nullptr) {
+        metrics_sidecar = options.sidecar_dir + "/metrics" + tag + ".ppm";
+        metrics_sidecars.push_back(metrics_sidecar);
+      }
+      stride = std::to_string(options.probe_stride);
+    }
     int fds[2];
     ensure(::pipe(fds) == 0, "supervised_spawn_sweep: pipe failed");
     const pid_t pid = ::fork();
@@ -489,6 +638,15 @@ std::vector<election_result> supervised_spawn_sweep(
       for (const int fd : open_fds) ::close(fd);
       ::dup2(fds[1], STDOUT_FILENO);
       ::close(fds[1]);
+      if (!trace_sidecar.empty()) {
+        ::setenv("POPSIM_TRACE_SIDECAR", trace_sidecar.c_str(), 1);
+      }
+      if (!metrics_sidecar.empty()) {
+        ::setenv("POPSIM_OBS_SIDECAR", metrics_sidecar.c_str(), 1);
+      }
+      if (!stride.empty()) {
+        ::setenv("POPSIM_PROBE_STRIDE", stride.c_str(), 1);
+      }
       const std::string index = std::to_string(slot);
       const std::string base = std::to_string(chunk.base);
       const std::string count = std::to_string(chunk.count);
@@ -502,8 +660,9 @@ std::vector<election_result> supervised_spawn_sweep(
                 index.c_str(), base.c_str(), count.c_str(),
                 static_cast<char*>(nullptr));
       }
-      std::fprintf(stderr, "supervised_spawn_sweep: exec %s failed: %s\n",
-                   exe.c_str(), std::strerror(errno));
+      obs::logf(obs::log_level::error,
+                "supervised_spawn_sweep: exec %s failed: %s", exe.c_str(),
+                std::strerror(errno));
       ::_exit(127);
     }
     ::close(fds[1]);
@@ -512,8 +671,29 @@ std::vector<election_result> supervised_spawn_sweep(
   // Trial t of the sweep uses rng(seed).fork(2).fork(t), exactly the serial
   // derivation (sweep.h) — needed here for the inline degraded path.
   const rng seed_gen = rng(manifest.seed).fork(2);
-  return supervise(manifest.trials, seed_gen, manifest.jobs, options, launch,
-                   inline_fn, "supervised_spawn_sweep");
+  std::vector<election_result> results =
+      supervise(manifest.trials, seed_gen, manifest.jobs, options, launch,
+                inline_fn, "supervised_spawn_sweep");
+  if (options.trace != nullptr) {
+    options.trace->begin("sidecar_merge", 0);
+    std::size_t merged = 0;
+    for (const std::string& path : trace_sidecars) {
+      merged += options.trace->merge_sidecar(path);
+      ::unlink(path.c_str());
+    }
+    options.trace->end(
+        "sidecar_merge", 0,
+        {obs::trace_arg::num("files",
+                             static_cast<std::uint64_t>(trace_sidecars.size())),
+         obs::trace_arg::num("events", static_cast<std::uint64_t>(merged))});
+  }
+  if (options.metrics != nullptr) {
+    for (const std::string& path : metrics_sidecars) {
+      options.metrics->merge_text_file(path);
+      ::unlink(path.c_str());
+    }
+  }
+  return results;
 }
 
 }  // namespace pp::fleet

@@ -32,6 +32,11 @@
 #include "fleet/sweep.h"
 #include "support/rng.h"
 
+namespace pp::obs {
+class metrics_registry;
+class trace_writer;
+}  // namespace pp::obs
+
 namespace pp::fleet {
 
 struct supervise_options {
@@ -43,6 +48,19 @@ struct supervise_options {
   bool resume = false;            // replay journal_path, run only the gap
   std::uint64_t journal_tag = 0;  // sweep identity (master seed) in the header
   std::vector<fault_spec> faults; // injected into first-generation workers only
+
+  // Observability (src/obs/), all optional and borrowed — the caller owns
+  // the writer/registry and serialises them after the sweep.  `trace`
+  // receives the supervisor timeline (span and instant names documented in
+  // src/fleet/README.md); `metrics` the fleet.* counters.  In exec mode,
+  // when `sidecar_dir` is set, each worker is told (via POPSIM_*_SIDECAR /
+  // POPSIM_PROBE_STRIDE env vars) to drop per-trial trace spans and probe
+  // metrics into per-(slot, generation) sidecar files there, which the
+  // supervisor merges into `trace`/`metrics` and unlinks before returning.
+  obs::trace_writer* trace = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  std::string sidecar_dir;        // worker sidecar directory ("" = off)
+  std::uint64_t probe_stride = 0; // worker census-sampling stride (0 = off)
 };
 
 // Fork-mode supervised sweep: as fleet_run, but workers that die (crash,

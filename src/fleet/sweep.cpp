@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/log.h"
 #include "support/expects.h"
 #include "support/parse.h"
 
@@ -243,7 +244,7 @@ std::vector<election_result> fleet_run(std::uint64_t trials, rng seed_gen,
           write_trial_record(fds[1], {t, fn(t, seed_gen.fork(t))});
         }
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "fleet worker %d: %s\n", w, e.what());
+        obs::logf(obs::log_level::error, "fleet worker %d: %s", w, e.what());
         status = 1;
       }
       ::close(fds[1]);
@@ -351,8 +352,8 @@ std::vector<election_result> spawn_worker_sweep(const std::string& exe,
       const std::string index = std::to_string(w);
       ::execl(exe.c_str(), exe.c_str(), "--worker", manifest_path.c_str(),
               index.c_str(), static_cast<char*>(nullptr));
-      std::fprintf(stderr, "spawn_worker_sweep: exec %s failed: %s\n",
-                   exe.c_str(), std::strerror(errno));
+      obs::logf(obs::log_level::error, "spawn_worker_sweep: exec %s failed: %s",
+                exe.c_str(), std::strerror(errno));
       ::_exit(127);
     }
     ::close(fds[1]);

@@ -1,0 +1,69 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pp::obs {
+namespace {
+
+// -1 = unresolved (POPSIM_LOG not yet consulted).  Plain atomic int so the
+// fleet supervisor's signal-adjacent paths can log without locking.
+std::atomic<int> g_threshold{-1};
+
+int resolve_from_env() {
+  const char* env = std::getenv("POPSIM_LOG");
+  log_level level = log_level::info;
+  if (env != nullptr) parse_log_level(env, level);  // bad value -> keep info
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+bool parse_log_level(const std::string& text, log_level& out) {
+  if (text == "error") out = log_level::error;
+  else if (text == "warn") out = log_level::warn;
+  else if (text == "info") out = log_level::info;
+  else if (text == "debug") out = log_level::debug;
+  else return false;
+  return true;
+}
+
+const char* to_string(log_level level) {
+  switch (level) {
+    case log_level::error: return "error";
+    case log_level::warn: return "warn";
+    case log_level::info: return "info";
+    case log_level::debug: return "debug";
+  }
+  return "?";
+}
+
+log_level log_threshold() {
+  int current = g_threshold.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = resolve_from_env();
+    int expected = -1;
+    // Lost race just means another thread resolved the same env value.
+    g_threshold.compare_exchange_strong(expected, current,
+                                        std::memory_order_relaxed);
+  }
+  return static_cast<log_level>(current);
+}
+
+void set_log_threshold(log_level level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void logf(log_level level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_threshold())) return;
+  std::fprintf(stderr, "popsim %s: ", to_string(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace pp::obs

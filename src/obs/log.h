@@ -1,0 +1,47 @@
+// Leveled stderr logging for the fleet runtime (src/fleet/), replacing the
+// ad-hoc fprintf(stderr, ...) call sites that grew with the supervisor.
+//
+// One process-global threshold, settable two ways with a fixed precedence:
+// the POPSIM_LOG environment variable (error|warn|info|debug) is read once
+// on first use, and set_log_threshold() (the CLI's --log-level flag)
+// overrides it.  Messages at or above the threshold go to stderr with a
+// "popsim <level>: " prefix so tests can match on a stable shape; everything
+// below is dropped before formatting.  The default threshold is `info` —
+// exactly the chattiness the raw fprintf sites had, so routing them through
+// here changes no default behaviour.
+//
+// Deliberately tiny: no sinks, no timestamps, no allocation on the drop
+// path.  Structured/machine-readable output is the metrics registry's and
+// trace writer's job (metrics.h, trace.h); this is for humans watching a
+// sweep.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace pp::obs {
+
+enum class log_level : int { error = 0, warn = 1, info = 2, debug = 3 };
+
+// Strict name -> level parse ("error"|"warn"|"info"|"debug"); returns false
+// on anything else, leaving `out` untouched.
+bool parse_log_level(const std::string& text, log_level& out);
+const char* to_string(log_level level);
+
+// Current threshold: messages with level <= threshold are emitted.  The
+// first call (of either) resolves POPSIM_LOG; an unparseable value is
+// ignored (default info) rather than fatal — logging must never be the
+// reason a sweep dies.
+log_level log_threshold();
+void set_log_threshold(log_level level);
+
+// printf-style emit to stderr, dropped without formatting when `level` is
+// above the threshold.  A trailing newline is appended by the helper, so
+// call sites pass bare messages.
+void logf(log_level level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace pp::obs

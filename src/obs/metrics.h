@@ -1,0 +1,92 @@
+// Process-wide metrics for engines, workers and the fleet supervisor: named
+// monotonic counters, signed gauges, and log2-bucketed histograms, with two
+// serialisations —
+//
+//   * json(): a deterministic snapshot (std::map iteration order, integer
+//     values only) written as `run_metrics.json` by `popsim --metrics FILE`;
+//   * text(): a line-oriented sidecar format workers write on exit and the
+//     supervisor merges.  Merging is tolerant of torn files (a worker
+//     SIGKILLed mid-write loses its sidecar tail, never the sweep), which a
+//     JSON snapshot could not offer without a parser.
+//
+// Histogram buckets are powers of two: bucket 0 holds the value 0 and
+// bucket i >= 1 holds [2^(i-1), 2^i), i.e. bucket_of(v) == bit_width(v).
+// That makes step counts, draw batches and span durations all land in a
+// fixed 65-bucket layout with no configuration, and merging is plain
+// bucket-wise addition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pp::obs {
+
+// Log2 histogram over u64 values.  min is meaningful only when count > 0.
+struct histogram {
+  static constexpr int kBuckets = 65;  // bit_width(v) for v in [0, 2^64)
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  static int bucket_of(std::uint64_t value);
+  // Inclusive lower bound of a bucket (0 for bucket 0, else 2^(i-1)).
+  static std::uint64_t bucket_lo(int bucket);
+
+  void observe(std::uint64_t value);
+  void merge(const histogram& other);
+};
+
+class metrics_registry {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1);
+  void set(const std::string& name, std::int64_t value);
+  void observe(const std::string& name, std::uint64_t value);
+
+  // 0 / empty defaults for absent names keep test assertions terse.
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+  const histogram* find_histogram(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, histogram>& histograms() const {
+    return histograms_;
+  }
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Counters and histograms add; gauges take the other registry's value
+  // (last writer wins, which is what worker -> supervisor rollup wants).
+  void merge(const metrics_registry& other);
+
+  // Deterministic JSON snapshot ({"popsim_metrics":1, "counters":{...},
+  // "gauges":{...}, "histograms":{...}}), keys sorted, integers only.
+  std::string json() const;
+  bool write_json(const std::string& path) const;
+
+  // Sidecar format: "ppmetrics 1" header, then one record per line
+  // (`c name value`, `g name value`, `h name count sum min max i:count...`).
+  std::string text() const;
+  bool write_text(const std::string& path) const;
+
+  // Merge a sidecar: returns false only when the header is missing (not a
+  // metrics sidecar at all).  Unparseable lines — including a torn final
+  // line from a killed worker — are skipped, not fatal.
+  bool merge_text(const std::string& content);
+  bool merge_text_file(const std::string& path);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, histogram> histograms_;
+};
+
+}  // namespace pp::obs

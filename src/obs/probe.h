@@ -1,0 +1,138 @@
+// Compile-time-gated engine probes: per-run phase telemetry with a strict
+// zero-cost contract.
+//
+// Every engine loop (run_compiled, run_packed, the wellmixed batch loop)
+// takes a `Probe` template parameter, defaulting to `null_probe`, plus a
+// trailing `Probe* probe = nullptr` argument.  Each hook call site is
+// guarded with `if constexpr (Probe::enabled)`, so with the default probe
+// the instrumentation compiles to nothing — same codegen as before the
+// probes existed (bench/obs.cpp gates the disabled path at <= 1% of the
+// un-instrumented step rate) — and probes never feed back into the
+// simulation: enabling any probe is bit-identical in steps/leader/census
+// for a given seed (tests/test_obs.cpp matrix).
+//
+// What a `run_probe` collects, in the paper's terms (Alistarh–Rybicki–
+// Voitovych 2022): elections pass through doubling streaks and then a long
+// waiting phase of ~2^h·L *silent* steps per agent — interactions that
+// change no state.  The probe splits the step count into silent vs active,
+// samples the census trajectory every `stride` steps (the leader-role
+// counters, e.g. contenders/minions), and counts stability-predicate
+// evaluations, block_rng draws and lazy-table fills.  These are exactly the
+// numbers the ROADMAP's event-driven silent-edge scheduler needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pp::obs {
+
+// One sampled point of the census trajectory.  `totals` mirrors the
+// engine's census accumulator (census_traits<P>::kCounters live entries,
+// at most kMaxCensusCounters == 4).
+struct census_sample {
+  std::uint64_t step = 0;
+  int counters = 0;
+  std::array<std::int64_t, 4> totals{};
+};
+
+struct probe_stats {
+  std::uint64_t steps = 0;            // interactions simulated
+  std::uint64_t active_steps = 0;     // steps that changed some state
+  std::uint64_t predicate_evals = 0;  // stability-predicate evaluations
+  std::uint64_t rng_draws = 0;        // uniform draws consumed
+  std::uint64_t table_fills = 0;      // lazy pair-transition compilations
+  std::uint64_t batches = 0;          // wellmixed batches applied
+  std::uint64_t batch_retries = 0;    // wellmixed half-B retries
+  std::vector<census_sample> census;  // sampled trajectory, step-ascending
+
+  std::uint64_t silent_steps() const { return steps - active_steps; }
+};
+
+// The disabled probe: `enabled == false` makes every hook site an
+// `if constexpr` dead branch.  The hook bodies still exist (and no-op) so
+// generic code may also call them unconditionally if it prefers.
+struct null_probe {
+  static constexpr bool enabled = false;
+
+  void on_step(bool) {}
+  void on_steps(std::uint64_t, std::uint64_t) {}
+  void on_predicate_evals(std::uint64_t) {}
+  void on_draws(std::uint64_t) {}
+  void on_table_fills(std::uint64_t) {}
+  void on_batch() {}
+  void on_batch_retry() {}
+  bool want_census(std::uint64_t) const { return false; }
+  void on_census(std::uint64_t, const std::int64_t*, int) {}
+};
+
+// The full probe.  `stride` controls census sampling: a sample is recorded
+// the first time the step counter reaches or passes each multiple of
+// stride (so per-step engines sample exactly at multiples, batch engines
+// at the first step past each).  stride == 0 disables sampling but keeps
+// the counters.  The sample vector is capped: on reaching kMaxSamples the
+// probe deterministically thins to every other sample and doubles the
+// stride, preserving a bounded, evenly spaced trajectory on runs of any
+// length.
+class run_probe {
+ public:
+  static constexpr bool enabled = true;
+  static constexpr std::size_t kMaxSamples = 4096;
+  static constexpr std::uint64_t kDefaultStride = 1024;
+
+  explicit run_probe(std::uint64_t stride = kDefaultStride)
+      : stride_(stride), next_(stride) {}
+
+  void on_step(bool active) {
+    ++stats_.steps;
+    stats_.active_steps += active ? 1u : 0u;
+  }
+  void on_steps(std::uint64_t steps, std::uint64_t active) {
+    stats_.steps += steps;
+    stats_.active_steps += active;
+  }
+  void on_predicate_evals(std::uint64_t n) { stats_.predicate_evals += n; }
+  void on_draws(std::uint64_t n) { stats_.rng_draws += n; }
+  void on_table_fills(std::uint64_t n) { stats_.table_fills += n; }
+  void on_batch() { ++stats_.batches; }
+  void on_batch_retry() { ++stats_.batch_retries; }
+
+  bool want_census(std::uint64_t step) const {
+    return stride_ != 0 && step >= next_;
+  }
+  void on_census(std::uint64_t step, const std::int64_t* totals,
+                 int counters) {
+    census_sample sample;
+    sample.step = step;
+    sample.counters = counters;
+    for (int i = 0; i < counters && i < 4; ++i) sample.totals[i] = totals[i];
+    stats_.census.push_back(sample);
+    next_ = step - step % stride_ + stride_;
+    if (stats_.census.size() >= kMaxSamples) thin();
+  }
+
+  std::uint64_t stride() const { return stride_; }
+  const probe_stats& stats() const { return stats_; }
+
+  void reset() {
+    stats_ = probe_stats{};
+    next_ = stride_;
+  }
+
+ private:
+  void thin() {
+    std::size_t kept = 0;
+    for (std::size_t i = 1; i < stats_.census.size(); i += 2) {
+      stats_.census[kept++] = stats_.census[i];
+    }
+    stats_.census.resize(kept);
+    stride_ *= 2;
+    next_ = next_ - next_ % stride_ + stride_;
+  }
+
+  probe_stats stats_;
+  std::uint64_t stride_ = kDefaultStride;
+  std::uint64_t next_ = kDefaultStride;
+};
+
+}  // namespace pp::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace pp::obs {
+
+std::int64_t trace_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1000;
+}
+
+trace_arg trace_arg::num(std::string key, std::int64_t value) {
+  return trace_arg{std::move(key), std::to_string(value), false};
+}
+
+trace_arg trace_arg::num(std::string key, std::uint64_t value) {
+  return trace_arg{std::move(key), std::to_string(value), false};
+}
+
+trace_arg trace_arg::str(std::string key, std::string value) {
+  return trace_arg{std::move(key), std::move(value), true};
+}
+
+trace_writer::trace_writer() : pid_(static_cast<int>(::getpid())) {}
+trace_writer::trace_writer(int pid) : pid_(pid) {}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void trace_writer::push(char ph, const std::string& name, int tid,
+                        std::int64_t ts, const std::vector<trace_arg>& args) {
+  std::string event = "{\"name\": ";
+  append_json_string(event, name);
+  event += ", \"ph\": \"";
+  event += ph;
+  event += "\", \"ts\": " + std::to_string(ts);
+  event += ", \"pid\": " + std::to_string(pid_);
+  event += ", \"tid\": " + std::to_string(tid);
+  if (ph == 'i') event += ", \"s\": \"t\"";  // thread-scoped instant
+  if (!args.empty()) {
+    event += ", \"args\": {";
+    bool first = true;
+    for (const trace_arg& arg : args) {
+      if (!first) event += ", ";
+      first = false;
+      append_json_string(event, arg.key);
+      event += ": ";
+      if (arg.quoted) {
+        append_json_string(event, arg.text);
+      } else {
+        event += arg.text;
+      }
+    }
+    event += "}";
+  }
+  event += "}";
+  events_.push_back(std::move(event));
+}
+
+void trace_writer::begin(const std::string& name, int tid,
+                         const std::vector<trace_arg>& args) {
+  push('B', name, tid, trace_now_us(), args);
+}
+
+void trace_writer::end(const std::string& name, int tid,
+                       const std::vector<trace_arg>& args) {
+  push('E', name, tid, trace_now_us(), args);
+}
+
+void trace_writer::instant(const std::string& name, int tid,
+                           const std::vector<trace_arg>& args) {
+  push('i', name, tid, trace_now_us(), args);
+}
+
+void trace_writer::begin_at(const std::string& name, int tid, std::int64_t ts,
+                            const std::vector<trace_arg>& args) {
+  push('B', name, tid, ts, args);
+}
+
+void trace_writer::end_at(const std::string& name, int tid, std::int64_t ts,
+                          const std::vector<trace_arg>& args) {
+  push('E', name, tid, ts, args);
+}
+
+void trace_writer::instant_at(const std::string& name, int tid,
+                              std::int64_t ts,
+                              const std::vector<trace_arg>& args) {
+  push('i', name, tid, ts, args);
+}
+
+void trace_writer::counter_at(const std::string& name, int tid,
+                              std::int64_t ts,
+                              const std::vector<trace_arg>& args) {
+  push('C', name, tid, ts, args);
+}
+
+void trace_writer::name_process(const std::string& name) {
+  push('M', "process_name", 0, 0, {trace_arg::str("name", name)});
+}
+
+void trace_writer::name_thread(int tid, const std::string& name) {
+  push('M', "thread_name", tid, 0, {trace_arg::str("name", name)});
+}
+
+std::string trace_writer::json() const {
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += events_[i];
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool trace_writer::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << json();
+  return static_cast<bool>(out.flush());
+}
+
+bool trace_writer::write_sidecar(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  for (const std::string& event : events_) out << event << "\n";
+  return static_cast<bool>(out.flush());
+}
+
+std::size_t trace_writer::merge_sidecar(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::size_t merged = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A torn line from a killed worker: getline at EOF without a trailing
+    // newline still yields the fragment, so validate shape before keeping.
+    if (in.eof() && (line.empty() || line.back() != '}')) break;
+    if (line.size() < 2 || line.front() != '{' || line.back() != '}') continue;
+    events_.push_back(line);
+    ++merged;
+  }
+  return merged;
+}
+
+}  // namespace pp::obs

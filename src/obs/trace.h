@@ -1,0 +1,98 @@
+// Chrome trace-event ("catapult") JSON writer for the fleet timeline.
+//
+// `popsim --trace FILE` records the supervisor's view of a sweep — worker
+// spawn/exec, chunk assignment, record receipt, inactivity timeouts,
+// kill/respawn/backoff, journal append/replay, inline degradation, merge —
+// as duration spans (ph B/E) and instants (ph i), and workers contribute
+// per-trial spans through sidecar files the supervisor merges.  The output
+// is the trace-event JSON array format ({"traceEvents": [...]}) and loads
+// directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Conventions (validated by tools/check_trace.py):
+//   * ts is CLOCK_MONOTONIC in microseconds.  On Linux that clock is
+//     system-wide, so supervisor and worker events share an epoch and the
+//     merged timeline lines up without translation.
+//   * pid is the real process id; the supervisor uses tid 0 for its poll
+//     loop and tid slot+1 for the span covering worker slot's lifetime, so
+//     overlapping workers render as parallel tracks.  B/E spans must nest
+//     per (pid, tid).
+//   * Events append in non-decreasing ts order per (pid, tid); sidecars are
+//     whole-timeline chunks of a different pid, so appending them after the
+//     supervisor's own events preserves that invariant.
+//
+// Sidecars are line-oriented — one rendered event object per line — so a
+// worker killed mid-write costs only the torn final line, which
+// merge_sidecar drops (same tolerance contract as the .ppaj journal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pp::obs {
+
+// Microseconds on the monotonic clock (system-wide on Linux).
+std::int64_t trace_now_us();
+
+// One pre-typed event argument; rendered into the event's "args" object.
+struct trace_arg {
+  std::string key;
+  std::string text;
+  bool quoted = true;  // false -> emitted as a bare JSON number
+
+  static trace_arg num(std::string key, std::int64_t value);
+  static trace_arg num(std::string key, std::uint64_t value);
+  static trace_arg str(std::string key, std::string value);
+};
+
+class trace_writer {
+ public:
+  trace_writer();                // pid = getpid()
+  explicit trace_writer(int pid);
+
+  int pid() const { return pid_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // Span/instant emitters stamped with trace_now_us().
+  void begin(const std::string& name, int tid,
+             const std::vector<trace_arg>& args = {});
+  void end(const std::string& name, int tid,
+           const std::vector<trace_arg>& args = {});
+  void instant(const std::string& name, int tid,
+               const std::vector<trace_arg>& args = {});
+  // Explicit-timestamp variants, for events reconstructed after the fact
+  // (per-trial worker spans are buffered and flushed when the trial ends).
+  void begin_at(const std::string& name, int tid, std::int64_t ts,
+                const std::vector<trace_arg>& args = {});
+  void end_at(const std::string& name, int tid, std::int64_t ts,
+              const std::vector<trace_arg>& args = {});
+  void instant_at(const std::string& name, int tid, std::int64_t ts,
+                  const std::vector<trace_arg>& args = {});
+  // ph C counter sample (args must be numeric series values).
+  void counter_at(const std::string& name, int tid, std::int64_t ts,
+                  const std::vector<trace_arg>& args);
+  // ph M metadata (process_name / thread_name), exempt from ts ordering.
+  void name_process(const std::string& name);
+  void name_thread(int tid, const std::string& name);
+
+  // Full document / file: {"traceEvents": [...]}.
+  std::string json() const;
+  bool write_json(const std::string& path) const;
+
+  // Sidecar: newline-delimited rendered events (no enclosing array).
+  bool write_sidecar(const std::string& path) const;
+  // Append another process's sidecar lines to this timeline; returns the
+  // number of events merged (0 for a missing/empty file).  A torn final
+  // line — no trailing newline or unbalanced braces — is dropped.
+  std::size_t merge_sidecar(const std::string& path);
+
+ private:
+  void push(char ph, const std::string& name, int tid, std::int64_t ts,
+            const std::vector<trace_arg>& args);
+
+  int pid_ = 0;
+  std::vector<std::string> events_;  // each a rendered JSON object
+};
+
+}  // namespace pp::obs

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -28,6 +29,24 @@ struct cli_result {
 cli_result run_cli(const std::string& args) {
   const std::string command =
       std::string(PP_POPSIM_CLI) + " " + args + " 2>/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  cli_result r;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.out.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  r.code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+// As run_cli, but captures *stderr* (stdout goes to /dev/null): for asserting
+// on the supervisor's logger output, e.g. the journal replay summary.
+cli_result run_cli_stderr(const std::string& args) {
+  const std::string command =
+      std::string(PP_POPSIM_CLI) + " " + args + " 2>&1 >/dev/null";
   std::FILE* pipe = popen(command.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   cli_result r;
@@ -90,6 +109,16 @@ TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
       "clique 100 fast --inject-fault exit:w0:after",   // after without value
       "clique 100 fast --inject-fault exit:w0,",        // trailing comma
       "clique 100 fast --jobs 2 --inject-fault exit:w5",  // slot beyond fleet
+      "clique 100 fast --metrics",               // flag missing its value
+      "clique 100 fast --trace",                 // flag missing its value
+      "clique 100 id --metrics /tmp/m.json",     // metrics need the engine
+      "clique 100 id --trace /tmp/t.json",       // trace needs the engine
+      "clique 100 fast --probe-stride 64",       // stride without a recorder
+      "clique 100 fast --probe-stride 0 --metrics /tmp/m.json",  // zero stride
+      "clique 100 fast --probe-stride 1e3 --metrics /tmp/m.json",  // non-integer
+      "clique 100 fast --log-level",             // flag missing its value
+      "clique 100 fast --log-level chatty",      // unknown level
+      "clique 100 fast --log-level INFO",        // case-sensitive parse
   };
   for (const char* args : invalid) {
     const cli_result r = run_cli(args);
@@ -227,6 +256,22 @@ TEST(CliFleet, FaultInjectedAndResumedSweepsMatchSerialStdout) {
   ASSERT_EQ(resumed.code, 0);
   EXPECT_EQ(serial.out, resumed.out);
 
+  // The resume logs a one-line replay summary (records replayed / corrupt
+  // skipped / torn tail) through the obs::log helper.
+  const cli_result resumed_err =
+      run_cli_stderr(base + " --jobs 2 --journal " + journal + " --resume");
+  ASSERT_EQ(resumed_err.code, 0);
+  EXPECT_NE(resumed_err.out.find(
+                "journal replay: 8 record(s) replayed (8/8 trial(s)), "
+                "0 corrupt record(s) skipped, torn tail none"),
+            std::string::npos)
+      << "stderr was: " << resumed_err.out;
+  // --log-level error silences the info-level summary.
+  const cli_result quiet = run_cli_stderr(base + " --jobs 2 --journal " +
+                                          journal + " --resume --log-level error");
+  ASSERT_EQ(quiet.code, 0);
+  EXPECT_EQ(quiet.out.find("journal replay:"), std::string::npos);
+
   // Resuming the journal under a different seed is a loud error, not a
   // silently merged pair of unrelated sweeps.
   const cli_result mismatched = run_cli(
@@ -234,6 +279,48 @@ TEST(CliFleet, FaultInjectedAndResumedSweepsMatchSerialStdout) {
       " --resume");
   EXPECT_GT(mismatched.code, 0);
   std::remove(journal.c_str());
+}
+
+// The flight recorder rides any sweep without changing its stdout, and the
+// snapshot files land where the flags point.
+TEST(CliFleet, MetricsAndTraceLeaveStdoutUntouched) {
+  const std::string dir = testing::TempDir();
+  const std::string metrics = dir + "/cli_obs_metrics.json";
+  const std::string trace = dir + "/cli_obs_trace.json";
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+  const std::string base = "cycle 200 fast --trials 4 --seed 7";
+
+  const cli_result serial = run_cli(base);
+  ASSERT_EQ(serial.code, 0);
+  const cli_result recorded = run_cli(base + " --jobs 2 --probe-stride 4096" +
+                                      " --metrics " + metrics + " --trace " +
+                                      trace);
+  ASSERT_EQ(recorded.code, 0);
+  EXPECT_EQ(serial.out, recorded.out);
+
+  // Spot-check the snapshots: sorted-JSON metrics with both the fleet.*
+  // supervisor counters and the workers' engine.* rollup; a trace document
+  // with the supervisor span and merged per-trial worker spans.
+  std::ifstream min(metrics);
+  ASSERT_TRUE(min.good());
+  std::string mjson((std::istreambuf_iterator<char>(min)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(mjson.find("\"popsim_metrics\": 1"), std::string::npos);
+  EXPECT_NE(mjson.find("\"fleet.records_received\": 4"), std::string::npos);
+  EXPECT_NE(mjson.find("\"engine.trials\": 4"), std::string::npos);
+  EXPECT_NE(mjson.find("engine.steps_per_trial"), std::string::npos);
+
+  std::ifstream tin(trace);
+  ASSERT_TRUE(tin.good());
+  std::string tjson((std::istreambuf_iterator<char>(tin)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(tjson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"name\": \"supervise\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"name\": \"worker_spawn\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"name\": \"trial\""), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
 }
 
 TEST(CliFleet, WellmixedArtifactSweepIsDeterministic) {

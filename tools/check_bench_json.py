@@ -37,6 +37,14 @@ REQUIRED_KEYS = {
         "equivalence_pass",
         "speedup_pass",
     ],
+    "obs": [
+        "results",
+        "overhead_disabled_frac",
+        "overhead_enabled_frac",
+        "disabled_pass",
+        "enabled_pass",
+        "determinism_pass",
+    ],
 }
 
 

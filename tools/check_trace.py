@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace-event JSON the flight recorder emits
+(src/obs/trace.h, `popsim --trace FILE`).
+
+Checks the catapult contract chrome://tracing and Perfetto rely on, plus the
+recorder's own guarantees:
+
+  * strict JSON (literal NaN/Infinity rejected), top-level object with a
+    "traceEvents" list of objects;
+  * every event carries name/ph/ts/pid/tid with the right types, ph one of
+    B E i C M, instants with "s";
+  * timestamps non-decreasing per (pid, tid) lane in file order (metadata
+    events excluded) — the writer appends in emission order and sidecar
+    merges keep worker events on their own pid;
+  * B/E spans balanced per (pid, tid) with matching names (LIFO nesting),
+    nothing left open at end of file.
+
+--strict turns the tolerated conditions (unknown ph, empty trace) into
+errors.  --require NAME[:key=value] (repeatable) additionally demands at
+least one event with that name — and, when given, an args entry equal to
+value — which is how CI asserts a fault-injected sweep recorded the
+worker_kill / worker_respawn / chunk_reassign instants for the faulted slot.
+
+Usage: check_trace.py [--strict] [--require NAME[:key=value]] FILE [FILE...]
+Exits nonzero on any violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+PHASES = {"B", "E", "i", "C", "M"}
+
+
+def reject_nonfinite(item, path):
+    if isinstance(item, float) and not math.isfinite(item):
+        raise ValueError(f"non-finite number at {path}")
+    if isinstance(item, dict):
+        for key, value in item.items():
+            reject_nonfinite(value, f"{path}.{key}")
+    if isinstance(item, list):
+        for index, value in enumerate(item):
+            reject_nonfinite(value, f"{path}[{index}]")
+
+
+def parse_requirement(spec):
+    """NAME or NAME:key=value -> (name, key or None, value or None)."""
+    name, sep, rest = spec.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty event name in {spec!r}")
+    if not sep:
+        return (name, None, None)
+    key, eq, value = rest.partition("=")
+    if not key or not eq:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r}: requirement args must look like NAME:key=value"
+        )
+    return (name, key, value)
+
+
+def arg_matches(event, key, value):
+    args = event.get("args")
+    if not isinstance(args, dict) or key not in args:
+        return False
+    # Trace args are numbers or strings; compare through str so
+    # --require worker_kill:slot=1 matches the numeric arg 1.
+    return str(args[key]) == value
+
+
+def check(path, strict, requirements):
+    errors = []
+    warnings = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(
+                handle,
+                parse_constant=lambda token: (_ for _ in ()).throw(
+                    ValueError(f"non-finite constant {token!r}")
+                ),
+            )
+    except (OSError, ValueError) as error:
+        return [f"invalid JSON: {error}"], []
+    try:
+        reject_nonfinite(doc, "$")
+    except ValueError as error:
+        return [str(error)], []
+
+    if not isinstance(doc, dict):
+        return ["top level must be an object"], []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['missing "traceEvents" list'], []
+    if not events:
+        warnings.append("empty traceEvents")
+
+    last_ts = {}  # (pid, tid) -> ts
+    open_spans = {}  # (pid, tid) -> [names]
+    satisfied = [False] * len(requirements)
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        name = event.get("name")
+        ph = event.get("ph")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or empty name")
+            continue
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where} ({name}): missing ph")
+            continue
+        if ph not in PHASES:
+            warnings.append(f"{where} ({name}): unknown ph {ph!r}")
+            continue
+        missing = [k for k in ("ts", "pid", "tid") if not isinstance(
+            event.get(k), int)]
+        if missing:
+            errors.append(
+                f"{where} ({name}): non-integer {'/'.join(missing)}")
+            continue
+        if ph == "M":
+            continue  # metadata carries no timeline meaning
+        lane = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if lane in last_ts and ts < last_ts[lane]:
+            errors.append(
+                f"{where} ({name}): ts {ts} < {last_ts[lane]} on pid {lane[0]}"
+                f" tid {lane[1]}"
+            )
+        last_ts[lane] = ts
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(f'{where} ({name}): instant without "s" scope')
+        if ph == "B":
+            open_spans.setdefault(lane, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(lane, [])
+            if not stack:
+                errors.append(
+                    f"{where} ({name}): E without open B on pid {lane[0]}"
+                    f" tid {lane[1]}"
+                )
+            elif stack[-1] != name:
+                errors.append(
+                    f"{where}: E {name!r} closes open B {stack[-1]!r} on"
+                    f" pid {lane[0]} tid {lane[1]}"
+                )
+            else:
+                stack.pop()
+        for slot, (rname, key, value) in enumerate(requirements):
+            if satisfied[slot] or name != rname:
+                continue
+            if key is None or arg_matches(event, key, value):
+                satisfied[slot] = True
+
+    for (pid, tid), stack in sorted(open_spans.items()):
+        for name in stack:
+            errors.append(f"unclosed span {name!r} on pid {pid} tid {tid}")
+    for slot, (rname, key, value) in enumerate(requirements):
+        if not satisfied[slot]:
+            want = rname if key is None else f"{rname}:{key}={value}"
+            errors.append(f"required event {want!r} not found")
+
+    if strict:
+        errors.extend(warnings)
+        warnings = []
+    return errors, warnings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate flight-recorder Chrome trace-event JSON."
+    )
+    parser.add_argument("--strict", action="store_true",
+                        help="treat tolerated conditions as errors")
+    parser.add_argument("--require", action="append", default=[],
+                        type=parse_requirement, metavar="NAME[:key=value]",
+                        help="demand at least one matching event (repeatable)")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    options = parser.parse_args(argv)
+
+    status = 0
+    for path in options.files:
+        errors, warnings = check(path, options.strict, options.require)
+        for warning in warnings:
+            print(f"{path}: warning: {warning}", file=sys.stderr)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
