@@ -8,6 +8,8 @@
 //                          [--worker-timeout-ms N] [--inject-fault SPECS]
 //   $ ./example_popsim_cli --load-artifact FILE [--trials T] [--seed S]
 //                          [--jobs W] [--save-artifact FILE] [fleet flags]
+//                          [--hosts HOST:PORT,...]
+//   $ ./example_popsim_cli --serve PORT [--cache-mb N]
 //   $ ./example_popsim_cli --worker MANIFEST INDEX [BASE COUNT [FAULTS]]
 //
 //   family    clique | cycle | star | torus | er_dense | rr8
@@ -46,9 +48,20 @@
 //   --worker-timeout-ms  kill and respawn a worker that has written nothing
 //             for this long (default: no timeout)
 //   --inject-fault  deterministic worker faults for testing the supervisor,
-//             comma-separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]
+//             comma-separated
+//             <exit|sigkill|stall|torn|drop|garbage>:w<slot>[:after=<n>]
 //             (src/fleet/fault.h); injected into first-generation workers
-//             only, so the recovered sweep still matches the serial one
+//             only — with --hosts, into the slot's first connection — so
+//             the recovered sweep still matches the serial one
+//   --hosts   run the sweep's worker slots over TCP against resident
+//             popsimd daemons (src/fleet/net.h) instead of forked local
+//             workers; slot i dials the i-th listed host round-robin.
+//             Without an explicit --jobs, one slot per listed host
+//   --serve   run as a resident popsimd daemon (src/fleet/service.h) on
+//             PORT (0 picks an ephemeral port, printed on stdout); serves
+//             sweep requests forever, caching verified artifacts
+//   --cache-mb  artifact cache budget for --serve in MB (default 256;
+//             least-recently-used artifacts are evicted past it)
 //   --worker  internal: run one worker's trial block of a fleet manifest,
 //             streaming length-prefixed records to stdout; the supervisor
 //             appends an explicit BASE COUNT trial range and optionally a
@@ -88,6 +101,8 @@
 #include "dynamics/epidemic.h"
 #include "fleet/artifact.h"
 #include "fleet/fault.h"
+#include "fleet/net.h"
+#include "fleet/service.h"
 #include "fleet/supervisor.h"
 #include "fleet/sweep.h"
 #include "graph/io.h"
@@ -105,7 +120,8 @@ int usage() {
                " [--engine auto|wellmixed] [--order natural|bfs|rcm]"
                " [--pack auto|8|16|32] [--jobs W] [--save-artifact FILE]\n"
                "       popsim --load-artifact FILE [--trials T] [--seed S]"
-               " [--jobs W] [--save-artifact FILE]\n"
+               " [--jobs W] [--save-artifact FILE] [--hosts HOST:PORT,...]\n"
+               "       popsim --serve PORT [--cache-mb N]\n"
                "       popsim --worker MANIFEST INDEX\n"
                "  family:   clique cycle star torus er_dense rr8\n"
                "  protocol: fast id six star\n"
@@ -130,7 +146,14 @@ int usage() {
                "  --worker-timeout-ms N  kill a worker silent for N ms and"
                " respawn it (default: no timeout)\n"
                "  --inject-fault SPECS  deterministic worker faults, comma-"
-               "separated <exit|sigkill|stall|torn>:w<slot>[:after=<n>]\n"
+               "separated <exit|sigkill|stall|torn|drop|garbage>"
+               ":w<slot>[:after=<n>]\n"
+               "  --hosts HOST:PORT,...  dial resident popsimd daemons for "
+               "the sweep's worker slots instead of forking workers\n"
+               "  --serve PORT  run as a resident popsimd daemon on PORT "
+               "(0 = ephemeral, printed on stdout)\n"
+               "  --cache-mb N  --serve artifact cache budget in MB "
+               "(default 256, in [1, 1048576])\n"
                "  --metrics FILE  write a JSON metrics snapshot (fleet.* "
                "supervisor + engine.* probe counters) after the sweep\n"
                "  --trace FILE  write a Chrome trace-event JSON timeline of "
@@ -167,13 +190,28 @@ struct cli_config {
   std::string trace_path;
   std::uint64_t probe_stride = pp::obs::run_probe::kDefaultStride;
   bool probe_stride_requested = false;
+  std::vector<pp::fleet::net::host_addr> hosts;
+  bool serve_requested = false;
+  std::uint64_t serve_port = 0;
+  std::uint64_t cache_mb = 256;
+  bool cache_mb_requested = false;
 
   // Any supervision or observability flag routes the sweep through the
   // fault-tolerant supervisor (fleet/supervisor.h) even at --jobs 1, so
   // journaling, resume and the flight recorder work for serial sweeps too.
+  // A --hosts sweep is always supervised: the socket slots live inside the
+  // same loop.
   bool supervised() const {
     return !journal_path.empty() || resume || retries_requested ||
-           worker_timeout_ms > 0 || !faults.empty() || observed();
+           worker_timeout_ms > 0 || !faults.empty() || observed() ||
+           !hosts.empty();
+  }
+
+  // Worker slot count the sweep actually runs with: --jobs when explicit,
+  // otherwise one slot per --hosts daemon (or the 1-job default locally).
+  std::uint64_t effective_jobs() const {
+    if (!hosts.empty() && jobs <= 1) return hosts.size();
+    return jobs;
   }
   bool observed() const {
     return !metrics_path.empty() || !trace_path.empty();
@@ -306,10 +344,33 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
       if (!pp::fleet::parse_fault_specs(specs, cfg.faults)) {
         std::fprintf(stderr,
                      "popsim: bad --inject-fault '%s' (want comma-separated "
-                     "<exit|sigkill|stall|torn>:w<slot>[:after=<n>])\n",
+                     "<exit|sigkill|stall|torn|drop|garbage>"
+                     ":w<slot>[:after=<n>])\n",
                      specs.c_str());
         return false;
       }
+    } else if (flag == "--hosts" && i + 1 < argc) {
+      const std::string list = argv[++i];
+      if (!pp::fleet::net::parse_host_list(list, cfg.hosts)) {
+        std::fprintf(stderr,
+                     "popsim: bad --hosts '%s' (want comma-separated "
+                     "host:port with port in [1, 65535])\n",
+                     list.c_str());
+        return false;
+      }
+    } else if (flag == "--serve" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.serve_port) || cfg.serve_port > 65535) {
+        std::fprintf(stderr, "popsim: --serve port must be in [0, 65535]\n");
+        return false;
+      }
+      cfg.serve_requested = true;
+    } else if (flag == "--cache-mb" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.cache_mb) || cfg.cache_mb < 1 ||
+          cfg.cache_mb > 1'048'576) {
+        std::fprintf(stderr, "popsim: --cache-mb must be in [1, 1048576]\n");
+        return false;
+      }
+      cfg.cache_mb_requested = true;
     } else {
       std::fprintf(stderr, "popsim: unknown or incomplete flag '%s'\n",
                    flag.c_str());
@@ -330,12 +391,33 @@ bool validate_fleet_flags(const cli_config& cfg) {
                  "popsim: --probe-stride needs --metrics or --trace\n");
     return false;
   }
+  if (cfg.serve_requested) {
+    if (!cfg.hosts.empty()) {
+      std::fprintf(stderr,
+                   "popsim: --serve runs the daemon side of --hosts; pick "
+                   "one per invocation\n");
+      return false;
+    }
+    if (!cfg.load_path.empty() || !cfg.save_path.empty() ||
+        !cfg.journal_path.empty() || cfg.resume || cfg.retries_requested ||
+        cfg.worker_timeout_ms > 0 || !cfg.faults.empty() || cfg.observed() ||
+        cfg.engine_requested || cfg.tuning_requested || cfg.jobs != 1) {
+      std::fprintf(stderr,
+                   "popsim: --serve is a resident daemon; it takes only "
+                   "--cache-mb and --log-level\n");
+      return false;
+    }
+  } else if (cfg.cache_mb_requested) {
+    std::fprintf(stderr, "popsim: --cache-mb needs --serve\n");
+    return false;
+  }
   for (const pp::fleet::fault_spec& f : cfg.faults) {
-    if (static_cast<std::uint64_t>(f.worker) >= cfg.jobs) {
+    if (static_cast<std::uint64_t>(f.worker) >= cfg.effective_jobs()) {
       std::fprintf(stderr,
                    "popsim: --inject-fault names worker slot w%d beyond the "
                    "%llu-worker fleet\n",
-                   f.worker, static_cast<unsigned long long>(cfg.jobs));
+                   f.worker,
+                   static_cast<unsigned long long>(cfg.effective_jobs()));
       return false;
     }
   }
@@ -386,14 +468,11 @@ pp::election_summary run_fleet(const std::string& artifact_path,
   manifest.artifact_path = artifact_path;
   manifest.seed = cfg.seed;
   manifest.trials = cfg.trials;
-  manifest.jobs = static_cast<int>(cfg.jobs);
+  manifest.jobs = static_cast<int>(cfg.effective_jobs());
   manifest.max_steps = options.max_steps;
   manifest.wellmixed_batch = options.wellmixed_batch;
   const temp_file manifest_file("manifest");
   pp::fleet::write_manifest(manifest, manifest_file.path());
-  std::fprintf(stderr, "popsim: fleet sweep, %d workers x %llu-trial blocks\n",
-               manifest.jobs,
-               static_cast<unsigned long long>(cfg.trials / cfg.jobs));
   // Flight recorder (src/obs/): the supervisor fills the borrowed registry
   // and timeline, workers drop sidecars into the manifest's private temp
   // directory, and the snapshots are serialised once the sweep is merged.
@@ -402,10 +481,27 @@ pp::election_summary run_fleet(const std::string& artifact_path,
   pp::fleet::supervise_options sup = cfg.supervision();
   if (!cfg.metrics_path.empty()) sup.metrics = &metrics;
   if (!cfg.trace_path.empty()) sup.trace = &trace;
-  if (cfg.observed()) sup.sidecar_dir = manifest_file.dir();
-  const auto results = pp::fleet::supervised_spawn_sweep(
-      pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest, sup,
-      inline_fn);
+  std::vector<pp::election_result> results;
+  if (!cfg.hosts.empty()) {
+    // Distributed sweep: the slots are TCP connections to resident popsimd
+    // daemons (fleet/net.h); remote workers cannot drop local sidecars, so
+    // the flight recorder carries supervisor + fleet.net.* data only.
+    std::fprintf(stderr,
+                 "popsim: distributed sweep, %d slot(s) across %zu host(s)\n",
+                 manifest.jobs, cfg.hosts.size());
+    results = pp::fleet::net::supervised_remote_sweep(
+        cfg.hosts, manifest.jobs, manifest, sup, inline_fn);
+  } else {
+    std::fprintf(stderr,
+                 "popsim: fleet sweep, %d workers x %llu-trial blocks\n",
+                 manifest.jobs,
+                 static_cast<unsigned long long>(
+                     cfg.trials / cfg.effective_jobs()));
+    if (cfg.observed()) sup.sidecar_dir = manifest_file.dir();
+    results = pp::fleet::supervised_spawn_sweep(
+        pp::fleet::self_exe_path(argv0), manifest_file.path(), manifest, sup,
+        inline_fn);
+  }
   if (!cfg.metrics_path.empty()) {
     pp::ensure(metrics.write_json(cfg.metrics_path),
                "popsim: cannot write --metrics " + cfg.metrics_path);
@@ -791,6 +887,17 @@ int main(int argc, char** argv) {
       cli_config cfg;
       if (!parse_flags(argc, argv, 1, cfg)) return usage();
       if (!validate_fleet_flags(cfg)) return usage();
+      if (cfg.serve_requested) {
+        // Resident popsimd daemon: print the bound port (ephemeral when
+        // --serve 0) as the one stdout line, then serve forever.
+        pp::fleet::service_options options;
+        options.port = static_cast<std::uint16_t>(cfg.serve_port);
+        options.cache_mb = cfg.cache_mb;
+        pp::fleet::sweep_service service(options);
+        std::printf("popsimd listening port=%u\n", service.port());
+        std::fflush(stdout);
+        service.run();
+      }
       if (cfg.load_path.empty()) return usage();
       if (cfg.engine_requested || cfg.tuning_requested) {
         std::fprintf(stderr,
@@ -818,6 +925,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "popsim: --load-artifact replaces the positional "
                    "<family> <n> <protocol> arguments\n");
+      return usage();
+    }
+    if (cfg.serve_requested) {
+      std::fprintf(stderr,
+                   "popsim: --serve takes no positional arguments (the "
+                   "daemon's sweeps arrive over the socket)\n");
       return usage();
     }
 

@@ -1,12 +1,15 @@
 #include "fleet/fault.h"
 
 #include <csignal>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 
 #include "fleet/sweep.h"
+#include "fleet/wire.h"
 #include "support/parse.h"
 
 namespace pp::fleet {
@@ -19,6 +22,8 @@ const char* kind_name(fault_kind kind) {
     case fault_kind::sigkill: return "sigkill";
     case fault_kind::stall: return "stall";
     case fault_kind::torn: return "torn";
+    case fault_kind::drop: return "drop";
+    case fault_kind::garbage: return "garbage";
   }
   return "?";
 }
@@ -28,6 +33,8 @@ bool parse_kind(const std::string& name, fault_kind& out) {
   else if (name == "sigkill") out = fault_kind::sigkill;
   else if (name == "stall") out = fault_kind::stall;
   else if (name == "torn") out = fault_kind::torn;
+  else if (name == "drop") out = fault_kind::drop;
+  else if (name == "garbage") out = fault_kind::garbage;
   else return false;
   return true;
 }
@@ -113,10 +120,17 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
       std::fprintf(stderr, "fleet fault: worker w%d injected stall\n",
                    spec_.worker);
       // Hang until the supervisor's timeout kills us — but bail out if the
-      // parent itself dies (reparenting changes getppid), so an aborted test
-      // or a killed sweep never leaves a stalled orphan behind.
+      // parent itself dies (reparenting changes getppid) or the stream's
+      // peer closes it (a pipe's read end gets POLLERR, a socket becomes
+      // readable at EOF — the peer never sends otherwise), so an aborted
+      // test, a killed sweep, or a remote client that gave up on this
+      // connection never leaves a stalled orphan behind.
       const pid_t parent = ::getppid();
-      while (::getppid() == parent) ::usleep(20000);
+      while (::getppid() == parent) {
+        pollfd peer{fd, POLLIN, 0};
+        const int r = ::poll(&peer, 1, 20);
+        if (r > 0 && (peer.revents & (POLLIN | POLLERR | POLLHUP)) != 0) break;
+      }
       ::_exit(9);
     }
     case fault_kind::torn: {
@@ -127,6 +141,33 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
       const std::uint32_t length = kTrialRecordPayload;
       std::uint8_t buf[4 + kTrialRecordPayload / 2] = {};
       std::memcpy(buf, &length, sizeof(length));
+      [[maybe_unused]] const ssize_t n = ::write(fd, buf, sizeof(buf));
+      ::_exit(9);
+    }
+    case fault_kind::drop: {
+      std::fprintf(stderr, "fleet fault: worker w%d injected stream drop\n",
+                   spec_.worker);
+      // Sever the stream mid-sweep.  On a socket, linger(0) aborts the
+      // connection with an RST, so the reader sees a hard connection reset
+      // (possibly after draining already-buffered records); on a pipe the
+      // setsockopt is a no-op (ENOTSOCK) and the close is a plain early EOF.
+      const linger abort_on_close{1, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+                   sizeof(abort_on_close));
+      ::close(fd);
+      ::_exit(9);
+    }
+    case fault_kind::garbage: {
+      std::fprintf(stderr, "fleet fault: worker w%d injected garbage frame\n",
+                   spec_.worker);
+      // A complete, well-framed record whose bytes were corrupted in flight:
+      // the trailing checksum no longer matches, so the reader must reject
+      // the frame rather than deliver a bogus trial.
+      std::uint8_t payload[kTrialRecordPayload] = {};
+      encode_trial_record(trial_record{}, payload);
+      std::uint8_t buf[wire::framed_size(kTrialRecordPayload)];
+      wire::encode_frame(payload, kTrialRecordPayload, buf);
+      buf[wire::kLengthBytes] ^= 0x55;  // flip payload bits, keep the framing
       [[maybe_unused]] const ssize_t n = ::write(fd, buf, sizeof(buf));
       ::_exit(9);
     }

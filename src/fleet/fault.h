@@ -11,10 +11,19 @@
 //          sigkill | worker raises SIGKILL after n records (a crash)
 //          stall   | worker stops writing after n records (hangs until the
 //                  | supervisor's inactivity timeout kills it; also exits on
-//                  | its own if the parent dies, so no orphan lingers)
-//          torn    | worker writes a partial record after n records and dies
+//                  | its own if the parent dies or the record stream's peer
+//                  | closes it — a stalled remote worker whose client gave
+//                  | up must not linger in the daemon)
+//          torn    | worker writes a partial frame after n records and dies
 //                  | (the classic died-mid-write tear)
+//          drop    | worker closes its record stream mid-sweep and dies (on
+//                  | sockets with an RST-provoking abort, the severed-
+//                  | connection case)
+//          garbage | worker writes a full frame with corrupted bytes (the
+//                  | checksum no longer matches) and dies — in-flight
+//                  | corruption the reader must detect and reject
 //   slot   supervisor worker-slot index the fault applies to
+//          (with --hosts, the slot's connection)
 //   after  records written before the fault fires (default 0)
 //
 // The supervisor injects faults only into a slot's *first* worker process;
@@ -30,7 +39,7 @@
 
 namespace pp::fleet {
 
-enum class fault_kind : std::uint8_t { exit, sigkill, stall, torn };
+enum class fault_kind : std::uint8_t { exit, sigkill, stall, torn, drop, garbage };
 
 struct fault_spec {
   fault_kind kind = fault_kind::exit;
@@ -54,8 +63,9 @@ std::string to_string(const std::vector<fault_spec>& specs);
 // Worker-side applier: fires the matching fault at the exact record count.
 // Constructed in the worker process from the spec list and the worker's
 // slot; `before_record(fd, written)` is called before writing each record
-// with the number already written.  exit/sigkill/stall never return when
-// they fire; torn writes a partial record to `fd` and _exits.
+// with the number already written.  No kind ever returns once it fires:
+// exit/sigkill/stall end the process outright, torn writes a partial frame,
+// drop severs the stream, garbage writes a corrupt frame — then _exit.
 class fault_injector {
  public:
   fault_injector() = default;

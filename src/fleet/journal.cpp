@@ -7,7 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
-#include "fleet/artifact.h"  // fnv1a64
+#include "fleet/wire.h"
 #include "support/expects.h"
 
 namespace pp::fleet {
@@ -15,7 +15,10 @@ namespace pp::fleet {
 namespace {
 
 constexpr std::size_t kHeaderBytes = 32;
-constexpr std::size_t kRecordBytes = 4 + kTrialRecordPayload + 8;
+// One journal record is exactly one wire.h checked frame of a trial record.
+constexpr std::size_t kRecordBytes = wire::framed_size(kTrialRecordPayload);
+constexpr wire::frame_limits kRecordLimits{kTrialRecordPayload,
+                                           kTrialRecordPayload};
 
 void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
 void put_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
@@ -105,23 +108,23 @@ journal_replay replay_journal(const std::string& path) {
   std::size_t off = kHeaderBytes;
   replay.durable_bytes = off;
   while (off + kRecordBytes <= bytes.size()) {
-    const std::uint32_t length = get_u32(bytes.data() + off);
-    if (length != kTrialRecordPayload) {
+    wire::frame_view frame;
+    const wire::decode_status status = wire::decode_frame(
+        bytes.data() + off, bytes.size() - off, kRecordLimits, frame);
+    if (status == wire::decode_status::bad_length) {
       // Broken framing: nothing past this offset can be trusted.
       replay.torn_tail = true;
       return replay;
     }
-    const std::uint8_t* payload = bytes.data() + off + 4;
-    const std::uint64_t stored = get_u64(payload + kTrialRecordPayload);
     off += kRecordBytes;
     replay.durable_bytes = off;
-    if (fnv1a64(payload, kTrialRecordPayload) != stored) {
+    if (status == wire::decode_status::bad_checksum) {
       // Bit rot inside one record: the fixed-size framing survives, so the
       // damaged trial is simply dropped (and re-runs on resume).
       ++replay.corrupt_records;
       continue;
     }
-    const trial_record record = decode_trial_record(payload);
+    const trial_record record = decode_trial_record(frame.payload);
     if (record.trial >= replay.header.trials) {
       ++replay.corrupt_records;
       continue;
@@ -169,11 +172,10 @@ journal_writer::~journal_writer() {
 void journal_writer::append(const trial_record& record) {
   // One write(2) for the whole record: a crash tears at most this record,
   // and the torn tail is truncated away on resume.
+  std::uint8_t payload[kTrialRecordPayload];
+  encode_trial_record(record, payload);
   std::uint8_t buf[kRecordBytes];
-  put_u32(buf, kTrialRecordPayload);
-  encode_trial_record(record, buf + 4);
-  put_u64(buf + 4 + kTrialRecordPayload,
-          fnv1a64(buf + 4, kTrialRecordPayload));
+  wire::encode_frame(payload, kTrialRecordPayload, buf);
   const std::uint8_t* p = buf;
   std::size_t left = sizeof(buf);
   while (left > 0) {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 
+#include "fleet/wire.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -104,13 +105,10 @@ std::deque<trial_range> chunk_pending(const std::vector<std::uint8_t>& received,
   return queue;
 }
 
-// Launches one worker for `chunk` in slot `slot`; `inject` asks for fault
-// injection (first-generation workers only).  `open_fds` are the parent's
-// currently open pipe read ends, which the child must close.
-using launch_fn = std::function<child_guard::child(
-    int slot, trial_range chunk, bool inject, const std::vector<int>& open_fds)>;
+}  // namespace
 
-// The shared supervision core of the fork and exec drivers.
+namespace detail {
+
 std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
                                        int jobs,
                                        const supervise_options& options,
@@ -219,6 +217,42 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     return fds;
   };
 
+  // Parses complete checked frames (wire.h) off slot i's buffer.  Returns
+  // false on a protocol violation (bad length, corrupt checksum,
+  // out-of-order or duplicate trial) — the worker is then failed, keeping
+  // the valid prefix.
+  auto parse_buffer = [&](int i) -> bool {
+    slot_state& s = slots[static_cast<std::size_t>(i)];
+    std::size_t off = 0;
+    bool ok = true;
+    for (;;) {
+      wire::frame_view frame;
+      const wire::decode_status status = wire::decode_frame(
+          s.buf.data() + off, s.buf.size() - off,
+          {kTrialRecordPayload, kTrialRecordPayload}, frame);
+      if (status == wire::decode_status::need_more) break;
+      if (status != wire::decode_status::ok) {
+        ok = false;
+        break;
+      }
+      const trial_record r = decode_trial_record(frame.payload);
+      if (r.trial != s.chunk.base + s.done || received[r.trial]) {
+        ok = false;
+        break;
+      }
+      deliver(r.trial, r.result);
+      ++s.done;
+      off += frame.frame_bytes;
+    }
+    s.buf.erase(s.buf.begin(),
+                s.buf.begin() + static_cast<std::ptrdiff_t>(off));
+    return ok;
+  };
+
+  // Declared ahead of start_worker (a failed launch fails its slot) and
+  // defined right after it.
+  std::function<void(int, const char*)> fail_slot;
+
   auto start_worker = [&](int i, trial_range chunk) {
     slot_state& s = slots[static_cast<std::size_t>(i)];
     const bool inject = !s.ever_launched && !options.faults.empty();
@@ -247,23 +281,35 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     s.ever_launched = true;
     s.pid = c.pid;
     s.fd = c.read_fd;
-    const int flags = ::fcntl(s.fd, F_GETFL, 0);
-    ensure(flags >= 0 && ::fcntl(s.fd, F_SETFL, flags | O_NONBLOCK) == 0,
-           std::string(what) + ": cannot make a worker pipe non-blocking");
     s.buf.clear();
     s.chunk = chunk;
     s.done = 0;
     s.running = true;
     s.waiting = false;
     s.last_activity = steady_clock::now();
+    if (s.fd >= 0) {
+      const int flags = ::fcntl(s.fd, F_GETFL, 0);
+      ensure(flags >= 0 && ::fcntl(s.fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             std::string(what) + ": cannot make a worker stream non-blocking");
+    } else {
+      // A launch that yields no record stream (a refused/failed remote
+      // connection) fails the slot on the spot: same backoff, retry budget
+      // and degraded-mode routing as a worker that died mid-chunk.
+      fail_slot(i, "worker launch failed");
+    }
   };
 
   // Kills (if alive) and reaps slot i's worker, then routes its outstanding
   // trials: respawn after backoff while the retry budget lasts, else switch
   // the sweep into degraded mode and queue the remainder for inline
   // execution.
-  auto fail_slot = [&](int i, const char* why) {
+  fail_slot = [&](int i, const char* why) {
     slot_state& s = slots[static_cast<std::size_t>(i)];
+    // Drain first: complete records already buffered (e.g. read ahead of a
+    // POLLHUP, or data that landed before a read error) are valid — a fast
+    // clean exit must never forfeit its final trials to reassignment.  A
+    // violation mid-buffer just leaves the valid prefix delivered.
+    parse_buffer(i);
     if (s.fd >= 0) {
       ::close(s.fd);
       s.fd = -1;
@@ -340,44 +386,20 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     }
   };
 
-  // Parses complete records off slot i's buffer.  Returns false on a
-  // protocol violation (bad length, out-of-order or duplicate trial) — the
-  // worker is then failed, keeping the valid prefix.
-  auto parse_buffer = [&](int i) -> bool {
-    slot_state& s = slots[static_cast<std::size_t>(i)];
-    std::size_t off = 0;
-    bool ok = true;
-    while (s.buf.size() - off >= 4) {
-      std::uint32_t length = 0;
-      std::memcpy(&length, s.buf.data() + off, 4);
-      if (length != kTrialRecordPayload) {
-        ok = false;
-        break;
-      }
-      if (s.buf.size() - off < 4ull + length) break;
-      const trial_record r = decode_trial_record(s.buf.data() + off + 4);
-      if (r.trial != s.chunk.base + s.done || received[r.trial]) {
-        ok = false;
-        break;
-      }
-      deliver(r.trial, r.result);
-      ++s.done;
-      off += 4ull + length;
-    }
-    s.buf.erase(s.buf.begin(),
-                s.buf.begin() + static_cast<std::ptrdiff_t>(off));
-    return ok;
-  };
-
   auto handle_eof = [&](int i) {
     slot_state& s = slots[static_cast<std::size_t>(i)];
     ::close(s.fd);
     s.fd = -1;
-    int status = 0;
-    while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+    // A remote slot (pid < 0, net.h) has no child to reap; a clean socket
+    // EOF is judged purely on chunk completeness.
+    bool clean = true;
+    if (s.pid >= 0) {
+      int status = 0;
+      while (::waitpid(s.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      s.pid = -1;
+      clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     }
-    s.pid = -1;
-    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     const bool complete = s.done == s.chunk.count && s.buf.empty();
     if (complete) {
       // All assigned trials arrived; a nonzero exit after the last record
@@ -551,7 +573,7 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
   return results;
 }
 
-}  // namespace
+}  // namespace detail
 
 void run_trial_block(trial_range range, int fd, const trial_fn& fn,
                      const rng& seed_gen, const fault_injector& injector) {
@@ -566,8 +588,8 @@ void run_trial_block(trial_range range, int fd, const trial_fn& fn,
 std::vector<election_result> supervised_fleet_run(
     std::uint64_t trials, rng seed_gen, const trial_fn& fn, int jobs,
     const supervise_options& options) {
-  const launch_fn launch = [&](int slot, trial_range chunk, bool inject,
-                               const std::vector<int>& open_fds) {
+  const detail::launch_fn launch = [&](int slot, trial_range chunk, bool inject,
+                                       const std::vector<int>& open_fds) {
     int fds[2];
     ensure(::pipe(fds) == 0, "supervised_fleet_run: pipe failed");
     const pid_t pid = ::fork();
@@ -592,8 +614,8 @@ std::vector<election_result> supervised_fleet_run(
     ::close(fds[1]);
     return child_guard::child{pid, fds[0]};
   };
-  return supervise(trials, seed_gen, jobs, options, launch, fn,
-                   "supervised_fleet_run");
+  return detail::supervise(trials, seed_gen, jobs, options, launch, fn,
+                           "supervised_fleet_run");
 }
 
 std::vector<election_result> supervised_spawn_sweep(
@@ -610,8 +632,8 @@ std::vector<election_result> supervised_spawn_sweep(
   std::vector<int> generation(static_cast<std::size_t>(manifest.jobs), 0);
   std::vector<std::string> trace_sidecars;
   std::vector<std::string> metrics_sidecars;
-  const launch_fn launch = [&](int slot, trial_range chunk, bool inject,
-                               const std::vector<int>& open_fds) {
+  const detail::launch_fn launch = [&](int slot, trial_range chunk, bool inject,
+                                       const std::vector<int>& open_fds) {
     std::string trace_sidecar;
     std::string metrics_sidecar;
     std::string stride;
@@ -672,8 +694,8 @@ std::vector<election_result> supervised_spawn_sweep(
   // derivation (sweep.h) — needed here for the inline degraded path.
   const rng seed_gen = rng(manifest.seed).fork(2);
   std::vector<election_result> results =
-      supervise(manifest.trials, seed_gen, manifest.jobs, options, launch,
-                inline_fn, "supervised_spawn_sweep");
+      detail::supervise(manifest.trials, seed_gen, manifest.jobs, options,
+                        launch, inline_fn, "supervised_spawn_sweep");
   if (options.trace != nullptr) {
     options.trace->begin("sidecar_merge", 0);
     std::size_t merged = 0;

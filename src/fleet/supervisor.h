@@ -92,4 +92,28 @@ void run_trial_block(trial_range range, int fd, const trial_fn& fn,
                      const rng& seed_gen,
                      const fault_injector& injector = {});
 
+namespace detail {
+
+// Launches one worker for `chunk` in slot `slot`; `inject` asks for fault
+// injection (first-generation workers only).  `open_fds` are the parent's
+// currently open record fds, which a forked child must close.  A launcher
+// may return pid == -1 when the record stream is not a child process (a
+// socket to a remote worker, net.h); returning read_fd < 0 reports a failed
+// launch, which consumes a retry like any other slot failure.
+using launch_fn = std::function<child_guard::child(
+    int slot, trial_range chunk, bool inject, const std::vector<int>& open_fds)>;
+
+// The shared supervision core behind supervised_fleet_run,
+// supervised_spawn_sweep and net.h's supervised_remote_sweep: the
+// poll()-multiplexed loop only ever sees record fds, so pipes and sockets
+// get identical timeout / respawn / reassignment / journal treatment.
+std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
+                                       int jobs,
+                                       const supervise_options& options,
+                                       const launch_fn& launch,
+                                       const trial_fn& inline_fn,
+                                       const char* what);
+
+}  // namespace detail
+
 }  // namespace pp::fleet

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "fleet/wire.h"
 #include "obs/log.h"
 #include "support/expects.h"
 #include "support/parse.h"
@@ -192,21 +193,27 @@ trial_record decode_trial_record(const std::uint8_t* payload) {
 }
 
 void write_trial_record(int fd, const trial_record& record) {
-  std::uint8_t buf[4 + kTrialRecordPayload];
-  std::uint8_t* p = buf;
-  pack<std::uint32_t>(p, kTrialRecordPayload);
-  encode_trial_record(record, p);
+  std::uint8_t payload[kTrialRecordPayload];
+  encode_trial_record(record, payload);
+  std::uint8_t buf[wire::framed_size(kTrialRecordPayload)];
+  wire::encode_frame(payload, kTrialRecordPayload, buf);
   write_all(fd, buf, sizeof(buf));
 }
 
 bool read_trial_record(int fd, trial_record& out) {
-  std::uint32_t length = 0;
-  if (!read_all(fd, &length, sizeof(length))) return false;
-  ensure(length == kTrialRecordPayload, "fleet: record length mismatch "
-                                        "(producer/reader version skew)");
-  std::uint8_t buf[kTrialRecordPayload];
-  ensure(read_all(fd, buf, sizeof(buf)), "fleet: torn record payload");
-  out = decode_trial_record(buf);
+  std::uint8_t buf[wire::framed_size(kTrialRecordPayload)];
+  if (!read_all(fd, buf, wire::kLengthBytes)) return false;
+  ensure(read_all(fd, buf + wire::kLengthBytes,
+                  sizeof(buf) - wire::kLengthBytes),
+         "fleet: torn record payload");
+  wire::frame_view frame;
+  const wire::decode_status status = wire::decode_frame(
+      buf, sizeof(buf), {kTrialRecordPayload, kTrialRecordPayload}, frame);
+  ensure(status != wire::decode_status::bad_length,
+         "fleet: record length mismatch (producer/reader version skew)");
+  ensure(status == wire::decode_status::ok,
+         "fleet: record checksum mismatch (corrupt stream)");
+  out = decode_trial_record(frame.payload);
   return true;
 }
 

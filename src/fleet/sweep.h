@@ -22,9 +22,13 @@
 //     the model that generalises to other hosts (the manifest + artifact
 //     pair is the whole job description).
 //
-// Record framing (native-endian, same-host pipes): u32 payload length, then
+// Record framing is the shared wire.h checked frame (native-endian):
+//   u32 payload length (= 29) | payload | u64 fnv1a64(payload)
+// with payload
 //   u64 trial index, u64 steps, u64 distinct_states_used, i32 leader,
 //   u8 stabilized.
+// Pipes, sockets (net.h) and the on-disk journal (journal.h) all carry this
+// exact frame, so the supervisor's buffered reader is transport-agnostic.
 #pragma once
 
 #include <cstdint>
@@ -61,10 +65,11 @@ inline constexpr std::uint32_t kTrialRecordPayload = 8 + 8 + 8 + 4 + 1;
 void encode_trial_record(const trial_record& record, std::uint8_t* out);
 trial_record decode_trial_record(const std::uint8_t* payload);
 
-// Length-prefixed record IO on pipe/file descriptors.  write_trial_record
-// retries short writes; read_trial_record returns false on a clean EOF at a
-// record boundary and throws on a torn record.  A closed read end surfaces
-// as EPIPE (workers ignore SIGPIPE), reported with strerror in the message.
+// Checked-frame record IO on pipe/socket file descriptors (wire.h framing).
+// write_trial_record retries short writes; read_trial_record returns false
+// on a clean EOF at a frame boundary and throws on a torn or
+// checksum-corrupt record.  A closed read end surfaces as EPIPE (workers
+// ignore SIGPIPE), reported with strerror in the message.
 void write_trial_record(int fd, const trial_record& record);
 bool read_trial_record(int fd, trial_record& out);
 

@@ -119,6 +119,24 @@ TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
       "clique 100 fast --log-level",             // flag missing its value
       "clique 100 fast --log-level chatty",      // unknown level
       "clique 100 fast --log-level INFO",        // case-sensitive parse
+      "clique 100 fast --hosts",                 // flag missing its value
+      "clique 100 fast --hosts localhost",       // host without a port
+      "clique 100 fast --hosts localhost:0",     // port 0 is reserved
+      "clique 100 fast --hosts localhost:65536", // port beyond 16 bits
+      "clique 100 fast --hosts a:1,,b:2",        // empty list element
+      "clique 100 fast --hosts a:1, ",           // trailing comma
+      "clique 100 fast --hosts a:1 --inject-fault exit:w3",  // slot beyond hosts
+      "--serve",                                 // flag missing its value
+      "--serve 65536",                           // port beyond 16 bits
+      "--serve 1e4",                             // non-integer port
+      "--serve 0 --hosts a:1",                   // daemon vs client roles
+      "--serve 0 --jobs 2",                      // daemon takes no sweep flags
+      "--serve 0 --load-artifact /tmp/x.ppaf",   // sweeps arrive by socket
+      "clique 100 fast --serve 0",               // daemon takes no positionals
+      "--serve 0 --cache-mb 0",                  // below the 1 MB floor
+      "--serve 0 --cache-mb 1048577",            // beyond the 1 TB ceiling
+      "--serve 0 --cache-mb 1e2",                // non-integer budget
+      "--load-artifact /dev/null --cache-mb 64", // --cache-mb needs --serve
   };
   for (const char* args : invalid) {
     const cli_result r = run_cli(args);

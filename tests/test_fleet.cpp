@@ -468,8 +468,12 @@ TEST(Supervisor, RecoversFromEveryFaultKindByteIdentically) {
   const rng seed_gen = rng(33).fork(2);
   const auto serial = fleet_run(17, seed_gen, synthetic_trial, 1);
 
+  // drop and garbage are socket-first faults (fleet/net.h) but must recover
+  // on pipes too: drop degrades to an early EOF, garbage to a checksum-
+  // rejected frame — both kill the worker's remaining chunk, never a trial.
   for (const fault_kind kind :
-       {fault_kind::exit, fault_kind::sigkill, fault_kind::torn}) {
+       {fault_kind::exit, fault_kind::sigkill, fault_kind::torn,
+        fault_kind::drop, fault_kind::garbage}) {
     supervise_options options;
     options.faults = {{kind, 1, 1}};  // slot 1 dies after one record
     const auto recovered =

@@ -28,6 +28,8 @@ REQUIRED_KEYS = {
         "w2_speedup_tuned",
         "journal_overhead_frac",
         "journal_overhead_pass",
+        "remote_overhead_frac",
+        "remote_overhead_pass",
     ],
     "star": [
         "equivalence",

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Concurrency hammer for the resident popsimd daemon (src/fleet/service.h).
+
+Fires N concurrent sweep requests for the same artifact chunk at a daemon
+and asserts every connection streamed back byte-identical records: the
+fork-per-request model must not let concurrent sweeps interleave, corrupt
+or reorder each other's streams, and the checksum-keyed cache must serve
+every connection the same prepared sweep.
+
+    $ popsim --serve 0 &          # prints: popsimd listening port=PORT
+    $ python3 tools/hammer.py --port PORT --artifact sweep.ppaf \
+          --concurrency 100 --trials 5 --seed 7
+
+Speaks the wire protocol (src/fleet/wire.h + net.h) directly from the
+stdlib: 'u32 length | payload | u64 fnv1a64(payload)' frames, REQ_SWEEP /
+NEED_ARTIFACT / ARTIFACT_DATA / OK_CACHED / ERR handshake, then raw
+41-byte record frames to EOF.  Exits nonzero (with the offending thread's
+error) on any divergence, short stream, ERR reply or timeout.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+import threading
+
+FNV_BASIS = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001b3
+MASK64 = (1 << 64) - 1
+
+REQ_SWEEP = 0x01
+ARTIFACT_DATA = 0x02
+OK_CACHED = 0x10
+NEED_ARTIFACT = 0x11
+ERR = 0x12
+
+RECORD_PAYLOAD = 29  # sweep.h trial record
+RECORD_FRAME = 4 + RECORD_PAYLOAD + 8
+
+
+def fnv1a64(data: bytes) -> int:
+    h = FNV_BASIS
+    for byte in data:
+        h = ((h ^ byte) * FNV_PRIME) & MASK64
+    return h
+
+
+def frame(payload: bytes) -> bytes:
+    return struct.pack("<I", len(payload)) + payload + struct.pack(
+        "<Q", fnv1a64(payload))
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise RuntimeError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf += chunk
+    return buf
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    (length,) = struct.unpack("<I", recv_exact(sock, 4))
+    if length > (1 << 30):
+        raise RuntimeError(f"oversized frame ({length} bytes)")
+    payload = recv_exact(sock, length)
+    (stored,) = struct.unpack("<Q", recv_exact(sock, 8))
+    if stored != fnv1a64(payload):
+        raise RuntimeError("frame checksum mismatch")
+    return payload
+
+
+def sweep_request(artifact: bytes, trials: int, seed: int) -> bytes:
+    return struct.pack(
+        "<BIQQIQQQQQQI",
+        REQ_SWEEP,
+        1,  # kNetVersion
+        fnv1a64(artifact),
+        len(artifact),
+        0,  # slot (no faults: every thread may share it)
+        seed,
+        trials,
+        0,  # base
+        trials,  # count: the whole sweep in one chunk
+        MASK64,  # max_steps
+        0,  # wellmixed_batch
+        0,  # no fault specs
+    )
+
+
+def one_request(host, port, request_frame, artifact_frame, timeout):
+    """Runs one full handshake + record stream; returns the record bytes.
+
+    Both frames are prebuilt by main(): pure-Python fnv1a64 over a multi-MB
+    artifact is the slow path here, and hashing it once per *process*
+    instead of once per thread is what lets 100 GIL-sharing clients all
+    finish their handshakes well inside the daemon's idle deadline.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(request_frame)
+        reply = recv_frame(sock)
+        if reply and reply[0] == NEED_ARTIFACT:
+            sock.sendall(artifact_frame)
+            reply = recv_frame(sock)
+        if not reply or reply[0] != OK_CACHED:
+            if reply and reply[0] == ERR:
+                raise RuntimeError("daemon: " + reply[1:].decode(errors="replace"))
+            raise RuntimeError(f"unexpected handshake reply {reply[:1].hex()}")
+        records = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return records
+            records += chunk
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="assert N concurrent popsimd sweeps stream identically")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--artifact", required=True, help=".ppaf file to sweep")
+    parser.add_argument("--concurrency", type=int, default=100)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-socket-operation timeout in seconds")
+    args = parser.parse_args()
+
+    with open(args.artifact, "rb") as f:
+        artifact = f.read()
+    request_frame = frame(sweep_request(artifact, args.trials, args.seed))
+    artifact_frame = frame(bytes([ARTIFACT_DATA]) + artifact)
+
+    results = [None] * args.concurrency
+    errors = [None] * args.concurrency
+
+    def worker(i):
+        try:
+            results[i] = one_request(args.host, args.port, request_frame,
+                                     artifact_frame, args.timeout)
+        except Exception as e:  # noqa: BLE001 - report, don't unwind a thread
+            errors[i] = str(e)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(args.concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    failed = [(i, e) for i, e in enumerate(errors) if e is not None]
+    if failed:
+        for i, e in failed[:10]:
+            print(f"hammer: request {i} failed: {e}", file=sys.stderr)
+        print(f"hammer: {len(failed)}/{args.concurrency} requests failed",
+              file=sys.stderr)
+        return 1
+
+    expected = args.trials * RECORD_FRAME
+    if len(results[0]) != expected:
+        print(f"hammer: stream is {len(results[0])} bytes, "
+              f"want {args.trials} x {RECORD_FRAME} = {expected}",
+              file=sys.stderr)
+        return 1
+    divergent = [i for i, r in enumerate(results) if r != results[0]]
+    if divergent:
+        print(f"hammer: {len(divergent)} of {args.concurrency} responses "
+              f"diverge from request 0 (first: {divergent[0]})",
+              file=sys.stderr)
+        return 1
+
+    print(f"hammer: ok — {args.concurrency} concurrent requests, "
+          f"{expected} identical bytes each")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
