@@ -1,7 +1,8 @@
 // popsim: command-line driver for the library.
 //
 //   $ ./example_popsim_cli <family> <n> <protocol> [--trials T] [--seed S]
-//                          [--engine auto|wellmixed] [--order natural|bfs|rcm]
+//                          [--engine auto|wellmixed|silent]
+//                          [--order natural|bfs|rcm]
 //                          [--pack auto|8|16|32] [--jobs W]
 //                          [--save-artifact FILE]
 //                          [--journal FILE [--resume]] [--retries N]
@@ -20,7 +21,12 @@
 //   --engine  auto picks the fastest per-interaction simulator for the
 //             protocol; wellmixed runs the O(|Λ|)-memory multiset batch
 //             engine (clique family + fast/six protocols only), which never
-//             materialises the graph and reaches n = 10⁸
+//             materialises the graph and reaches n = 10⁸; silent runs the
+//             event-driven scheduler (src/engine/silent/) that draws only
+//             non-silent pairs and jumps the step counter over the waiting
+//             phase — statistically equivalent to auto, different seeded
+//             trajectories.  A runtime knob, not part of the artifact: it
+//             is the one --engine value allowed with --load-artifact
 //   --order   vertex order for the compiled engine (protocols fast and
 //             star): natural keeps per-seed reproducibility with the
 //             reference simulator; bfs/rcm relabel the graph for cache
@@ -117,7 +123,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: popsim <family> <n> <protocol> [--trials T] [--seed S]"
-               " [--engine auto|wellmixed] [--order natural|bfs|rcm]"
+               " [--engine auto|wellmixed|silent] [--order natural|bfs|rcm]"
                " [--pack auto|8|16|32] [--jobs W] [--save-artifact FILE]\n"
                "       popsim --load-artifact FILE [--trials T] [--seed S]"
                " [--jobs W] [--save-artifact FILE] [--hosts HOST:PORT,...]\n"
@@ -128,7 +134,8 @@ int usage() {
                "  --trials  positive trial count (default 5)\n"
                "  --seed    64-bit master seed (default 1)\n"
                "  --engine  wellmixed needs family=clique and protocol"
-               " fast|six\n"
+               " fast|six; silent is the event-driven scheduler"
+               " (protocol fast|star, any family)\n"
                "  --order   vertex relabelling for the compiled engine"
                " (protocols fast|star; default natural)\n"
                "  --pack    config word width for the compiled engine"
@@ -250,7 +257,8 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
     } else if (flag == "--engine" && i + 1 < argc) {
       cfg.engine = argv[++i];
       cfg.engine_requested = true;
-      if (cfg.engine != "auto" && cfg.engine != "wellmixed") {
+      if (cfg.engine != "auto" && cfg.engine != "wellmixed" &&
+          cfg.engine != "silent") {
         std::fprintf(stderr, "popsim: unknown engine '%s'\n", cfg.engine.c_str());
         return false;
       }
@@ -471,6 +479,7 @@ pp::election_summary run_fleet(const std::string& artifact_path,
   manifest.jobs = static_cast<int>(cfg.effective_jobs());
   manifest.max_steps = options.max_steps;
   manifest.wellmixed_batch = options.wellmixed_batch;
+  manifest.scheduler = options.scheduler;
   const temp_file manifest_file("manifest");
   pp::fleet::write_manifest(manifest, manifest_file.path());
   // Flight recorder (src/obs/): the supervisor fills the borrowed registry
@@ -628,12 +637,19 @@ int run_tuned_mode(const pp::tuned_runner<P>& runner,
                    const std::string& family, const std::string& loaded_path) {
   pp::rng seed(cfg.seed);
   const int trial_count = static_cast<int>(cfg.trials);
-  const pp::sim_options options = tuned_options(desc.kind);
+  pp::sim_options options = tuned_options(desc.kind);
+  if (cfg.engine == "silent") options.scheduler = pp::scheduler_kind::silent;
   std::printf("graph: %s n=%d m=%lld Δ=%d\n", family.c_str(), g.num_nodes(),
               static_cast<long long>(g.num_edges()), g.max_degree());
-  std::printf("engine: order=%s pack=u%d%s\n", pp::to_string(runner.order()),
+  // The scheduler suffix appears only when non-default, so every existing
+  // step-scheduler invocation's stdout stays byte-identical (the serial-vs-
+  // fleet diff gates depend on that).
+  std::printf("engine: order=%s pack=u%d%s%s\n", pp::to_string(runner.order()),
               runner.pack_bits(),
-              runner.packed() ? "" : " (lazy fallback: |Lambda| beyond the closure budget)");
+              runner.packed() ? "" : " (lazy fallback: |Lambda| beyond the closure budget)",
+              options.scheduler == pp::scheduler_kind::silent
+                  ? " scheduler=silent"
+                  : "");
 
   std::string artifact_path = loaded_path;
   std::optional<temp_file> temp_artifact;
@@ -726,6 +742,8 @@ struct worker_obs {
       metrics.add("engine.batch_retries", st.batch_retries);
       metrics.add("engine.census_samples",
                   static_cast<std::uint64_t>(st.census.size()));
+      metrics.add("engine.active_set_samples",
+                  static_cast<std::uint64_t>(st.active_sets.size()));
       metrics.observe("engine.steps_per_trial", st.steps);
       metrics.observe("engine.silent_steps_per_trial", st.silent_steps());
       metrics.observe("engine.trial_duration_us",
@@ -789,6 +807,7 @@ int worker_main(int argc, char** argv) {
     pp::sim_options options;
     options.max_steps = manifest.max_steps;
     options.wellmixed_batch = manifest.wellmixed_batch;
+    options.scheduler = manifest.scheduler;
     // Trial t of the sweep uses rng(seed).fork(2).fork(t) — the exact
     // generator the serial measure_election_* call hands it.
     const pp::rng trial_gen = pp::rng(manifest.seed).fork(2);
@@ -862,6 +881,12 @@ int artifact_main(const cli_config& cfg, const char* argv0) {
   }
   pp::expects(artifact.wellmixed.has_value(),
               "popsim: well-mixed artifact without a multiset section");
+  if (cfg.engine == "silent") {
+    std::fprintf(stderr,
+                 "popsim: --engine silent schedules graph interactions; this "
+                 "artifact carries the well-mixed multiset engine\n");
+    return usage();
+  }
   const std::uint64_t n = artifact.wellmixed->population;
   if (artifact.protocol.kind == pp::fleet::protocol_kind::fast) {
     const pp::fast_protocol proto(pp::fleet::fast_params_of(artifact.protocol));
@@ -899,10 +924,15 @@ int main(int argc, char** argv) {
         service.run();
       }
       if (cfg.load_path.empty()) return usage();
-      if (cfg.engine_requested || cfg.tuning_requested) {
+      // The engine choice and data layout are recorded in the artifact.  The
+      // silent scheduler is the exception: a runtime knob like max_steps, it
+      // never changes what the artifact validates against.
+      if ((cfg.engine_requested && cfg.engine != "silent") ||
+          cfg.tuning_requested) {
         std::fprintf(stderr,
                      "popsim: --engine/--order/--pack are recorded in the "
-                     "artifact; they cannot be overridden at load time\n");
+                     "artifact; only --engine silent (a runtime scheduler "
+                     "knob) may be set at load time\n");
         return usage();
       }
       return artifact_main(cfg, argv[0]);
@@ -968,6 +998,12 @@ int main(int argc, char** argv) {
     // Reject tuning/fleet flags for non-engine protocols before paying for
     // the graph construction (a dense family at large n is expensive).
     const bool compiled_engine = protocol == "fast" || protocol == "star";
+    if (cfg.engine == "silent" && !compiled_engine) {
+      std::fprintf(stderr,
+                   "popsim: --engine silent schedules the compiled engine, "
+                   "i.e. protocol fast or star\n");
+      return usage();
+    }
     if (cfg.tuning_requested && !compiled_engine) {
       std::fprintf(stderr,
                    "popsim: --order/--pack apply to the compiled engine, i.e. "

@@ -29,13 +29,31 @@ struct election_result {
   std::size_t distinct_states_used = 0;
 };
 
+// Which scheduler advances the step counter.  `step` is the per-interaction
+// schedulers (one uniform pair draw per step); `silent` is the event-driven
+// scheduler (engine/silent/): it draws only from the currently *active*
+// (non-silent) oriented pairs and jumps the counter geometrically over the
+// silent steps in between.  The choice is a runtime knob — it never changes
+// the protocol, the graph or the artifact format — and the silent scheduler
+// preserves the distribution of (steps, leader) exactly, so results agree
+// with the step scheduler under the 3σ statistical contract.
+enum class scheduler_kind : std::uint8_t { step = 0, silent = 1 };
+
+inline const char* to_string(scheduler_kind s) {
+  return s == scheduler_kind::silent ? "silent" : "step";
+}
+
 struct sim_options {
   std::uint64_t max_steps = UINT64_MAX;
   bool state_census = false;
-  // Batch size for the well-mixed multiset engine (run_wellmixed); 0 picks
-  // n/64 automatically, and values above n are clamped to n.  Ignored by
-  // the per-interaction simulators.
+  // Batch size for the well-mixed multiset engine (run_wellmixed); 0 enables
+  // the error-controlled adaptive leap (starts at n/64, grows toward n in
+  // quiet phases, shrinks when the composition drifts), and values above n
+  // are clamped to n.  Ignored by the per-interaction simulators.
   std::uint64_t wellmixed_batch = 0;
+  // Scheduler for the tuned/packed engine; ignored by engines that have no
+  // silent path (reference simulator, wellmixed multiset).
+  scheduler_kind scheduler = scheduler_kind::step;
 };
 
 // Runs `proto` on `g` from its initial configuration until the tracker

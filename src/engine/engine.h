@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <variant>
 #include <vector>
@@ -608,6 +609,15 @@ election_result run_packed(const compiled_protocol<P>& compiled,
   return result;
 }
 
+}  // namespace pp
+
+// The event-driven silent-edge scheduler (run_silent + silent_adjacency)
+// builds on the packed views defined above; tuned_runner below dispatches
+// into it when sim_options::scheduler == scheduler_kind::silent.
+#include "engine/silent/silent.h"  // NOLINT(build/include_order)
+
+namespace pp {
+
 // States the reachable closure may intern before tuned/sweep runners fall
 // back to per-trial lazy u32 tables (a closed table of k states is k²
 // entries; 2048² packed u16 entries are ~34 MB).
@@ -713,6 +723,9 @@ class tuned_runner {
   election_result run(rng gen, const sim_options& options, Probe* probe) const {
     const auto* map = old_of_new_.empty() ? nullptr : &old_of_new_;
     if (!closed_) {
+      expects(options.scheduler != scheduler_kind::silent,
+              "tuned_runner: the silent scheduler needs a closed table "
+              "(reachable space exceeded the closure budget)");
       compiled_protocol<P> local(*proto_);
       return run_compiled(local, *fallback_edges_, run_graph(), gen, options,
                           map, probe);
@@ -813,12 +826,26 @@ class tuned_runner {
                             Probe* probe) const {
     const auto& table = std::get<packed_table<W, P>>(table_);
     const auto& start = std::get<packed_start<W>>(start_);
+    const bool silent = options.scheduler == scheduler_kind::silent;
     // get_if yields nullptr while csr_ holds monostate — exactly the
     // counter-shaped protocols, for which run_packed ignores the view.
     if (const auto* e16 =
             std::get_if<packed_endpoints<std::uint16_t>>(&pairs_)) {
+      if (silent) {
+        return run_silent(compiled_, table, *e16, incidence(), run_graph(),
+                          gen, options, map,
+                          std::get_if<packed_csr<std::uint16_t>>(&csr_),
+                          &start, probe);
+      }
       return run_packed(compiled_, table, *e16, run_graph(), gen, options, map,
                         std::get_if<packed_csr<std::uint16_t>>(&csr_), &start,
+                        probe);
+    }
+    if (silent) {
+      return run_silent(compiled_, table,
+                        std::get<packed_endpoints<std::uint32_t>>(pairs_),
+                        incidence(), run_graph(), gen, options, map,
+                        std::get_if<packed_csr<std::uint32_t>>(&csr_), &start,
                         probe);
     }
     return run_packed(compiled_, table,
@@ -826,6 +853,17 @@ class tuned_runner {
                       run_graph(), gen, options, map,
                       std::get_if<packed_csr<std::uint32_t>>(&csr_), &start,
                       probe);
+  }
+
+  // The silent scheduler's incidence rows, built on first use and then
+  // shared read-only across trials.  std::call_once makes the lazy build
+  // safe for run()'s concurrent-trial contract (the TSan CI job covers
+  // this path).
+  const silent_adjacency& incidence() const {
+    std::call_once(adjacency_once_, [this] {
+      silent_adjacency_.emplace(run_graph());
+    });
+    return *silent_adjacency_;
   }
 
   const P* proto_;
@@ -852,6 +890,10 @@ class tuned_runner {
       start_;
   std::optional<edge_endpoints> fallback_edges_;  // lazy fallback only
   std::size_t fallback_table_bytes_ = 0;          // released table's footprint
+  // Lazily built silent-scheduler incidence rows (mutable: run() is const
+  // and thread-safe; call_once guards the build).
+  mutable std::once_flag adjacency_once_;
+  mutable std::optional<silent_adjacency> silent_adjacency_;
 };
 
 }  // namespace pp

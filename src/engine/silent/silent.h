@@ -1,0 +1,322 @@
+// Event-driven silent-edge scheduler (the ROADMAP's "skip the quiet phase
+// entirely" item; cost model and math in README.md next to this file).
+//
+// Late in an election almost every scheduler step is *silent*: the drawn
+// oriented pair's transition changes neither endpoint.  run_packed's fast
+// path makes those steps cheap (one draw, two loads) but still pays for each
+// one; on the waiting phase (~2^h·L steps per agent) that is the entire wall
+// clock.  run_silent instead maintains the set of active (non-silent)
+// oriented pairs incrementally:
+//
+//   * a pair k ∈ [0, 2m) is active iff its transition would change a config
+//     word; activity only depends on the two endpoint words, so it can only
+//     change when one of them flips — an O(deg(u) + deg(v)) re-evaluation
+//     walk over silent_adjacency per executed step;
+//   * the step counter advances over silent runs by one geometric jump
+//     (jump.h): with A active pairs of 2m, the silent run before the next
+//     active step is Geometric(A/2m), and the active step itself is a
+//     uniform draw from the active list;
+//   * stability is re-checked exactly when run_packed would re-check it
+//     (census delta nonzero, or an edge-census class flip) — silent steps
+//     cannot move the predicate, so skipping them analytically leaves the
+//     stopping rule's trigger set untouched.
+//
+// The executed process is distributed identically to run_packed's: the same
+// per-configuration law for (next active pair, silent run length), hence the
+// same distribution of (steps-to-stabilization, elected leader, census).
+// Draw *consumption* differs (one uniform01 + one pick per active step
+// instead of one pick per step), so equality is statistical — the 3σ
+// contract of the wellmixed/RCM precedent (tests/test_silent.cpp,
+// bench/silent.cpp) — not per-seed.
+//
+// If the active set empties while the predicate is false the configuration
+// can never change again: the run jumps straight to max_steps and reports
+// unstabilized, which is the reference engine's t → max_steps behaviour
+// delivered in O(1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/simulator.h"
+#include "engine/block_rng.h"
+#include "engine/census.h"
+#include "engine/compiled_protocol.h"
+#include "engine/edgecensus/census.h"
+#include "engine/edgecensus/edgecensus.h"
+#include "engine/silent/jump.h"
+#include "graph/graph.h"
+#include "obs/probe.h"
+#include "support/expects.h"
+
+// This header is included by engine/engine.h (after the packed_endpoints /
+// packed_start / elected_leader definitions it builds on, and before the
+// tuned_runner that dispatches into it).  Include "engine/engine.h" to use
+// run_silent.
+
+namespace pp {
+
+// Incidence view for the activity re-evaluation walks: for every node, the
+// indices of its incident edges (row v lists each edge exactly once; both
+// oriented pairs j and j + m of edge j are re-evaluated when either endpoint
+// flips, so no orientation flag is stored).  Width-independent — neighbor
+// ids come from the packed_endpoints array — and built once per tuned_runner
+// (lazily, first silent run), then shared read-only across trials.
+struct silent_adjacency {
+  explicit silent_adjacency(const graph& g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    const auto m = static_cast<std::uint64_t>(g.num_edges());
+    expects(2 * m <= std::numeric_limits<std::uint32_t>::max(),
+            "silent_adjacency: oriented pair indices exceed u32");
+    offsets.assign(n + 1, 0);
+    for (const edge& e : g.edges()) {
+      ++offsets[static_cast<std::size_t>(e.u) + 1];
+      ++offsets[static_cast<std::size_t>(e.v) + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    entries.resize(static_cast<std::size_t>(2 * m));
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    std::uint32_t j = 0;
+    for (const edge& e : g.edges()) {
+      entries[cursor[static_cast<std::size_t>(e.u)]++] = j;
+      entries[cursor[static_cast<std::size_t>(e.v)]++] = j;
+      ++j;
+    }
+  }
+
+  std::span<const std::uint32_t> row(std::size_t v) const {
+    return {entries.data() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+
+  std::vector<std::uint32_t> offsets;  // size n + 1
+  std::vector<std::uint32_t> entries;  // size 2m, edge indices
+  std::size_t bytes() const {
+    return offsets.size() * sizeof(std::uint32_t) +
+           entries.size() * sizeof(std::uint32_t);
+  }
+};
+
+// The active oriented-pair set: O(1) membership toggle (swap-with-last
+// removal through a position index), uniform draw by index.  Sized for
+// 2m oriented pairs.
+class active_pair_set {
+ public:
+  explicit active_pair_set(std::uint64_t two_m)
+      : pos_(static_cast<std::size_t>(two_m), kNone) {}
+
+  std::uint64_t size() const { return list_.size(); }
+  std::uint32_t at(std::uint64_t i) const {
+    return list_[static_cast<std::size_t>(i)];
+  }
+
+  void set(std::uint32_t k, bool active) {
+    std::uint32_t& p = pos_[k];
+    if (active) {
+      if (p != kNone) return;
+      p = static_cast<std::uint32_t>(list_.size());
+      list_.push_back(k);
+    } else {
+      if (p == kNone) return;
+      const std::uint32_t last = list_.back();
+      list_[p] = last;
+      pos_[last] = p;
+      list_.pop_back();
+      p = kNone;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+  std::vector<std::uint32_t> list_;
+  std::vector<std::uint32_t> pos_;
+};
+
+// run_silent: the event-driven counterpart of run_packed over the same
+// packed table / endpoint / CSR views plus the silent_adjacency incidence
+// rows.  Same signature conventions as run_packed: `adjacency` is required
+// for edge-census protocols, `start` (when given) replaces the per-trial
+// initial-state computation, `probe` only reads the run.
+template <typename W, typename N, compilable_protocol P,
+          typename Probe = obs::null_probe>
+election_result run_silent(const compiled_protocol<P>& compiled,
+                           const packed_table<W, P>& table,
+                           const packed_endpoints<N>& edges,
+                           const silent_adjacency& adj, const graph& g,
+                           rng gen, const sim_options& options = {},
+                           const std::vector<node_id>* old_of_new = nullptr,
+                           const packed_csr<N>* adjacency = nullptr,
+                           const packed_start<W>* start = nullptr,
+                           [[maybe_unused]] Probe* probe = nullptr) {
+  using traits = census_model_t<P>;
+  constexpr bool kEdgeCensus = edge_census_protocol<P>;
+  const node_id n = g.num_nodes();
+  expects(edges.pairs.size() == static_cast<std::size_t>(g.num_edges()),
+          "run_silent: endpoint array does not match the graph");
+  expects(g.num_edges() >= 1, "run_silent: graph must have at least one edge");
+  expects(table.num_states() == compiled.num_states(),
+          "run_silent: packed table does not match the compiled table");
+  expects(adj.offsets.size() == static_cast<std::size_t>(n) + 1,
+          "run_silent: incidence rows do not match the graph");
+  expects(old_of_new == nullptr ||
+              old_of_new->size() == static_cast<std::size_t>(n),
+          "run_silent: node map does not match the graph");
+  if constexpr (kEdgeCensus) {
+    expects(adjacency != nullptr &&
+                adjacency->offsets.size() == static_cast<std::size_t>(n) + 1,
+            "run_silent: edge-census protocols need the graph's CSR adjacency "
+            "view");
+  }
+
+  std::optional<packed_start<W>> local_start;
+  if (start == nullptr) {
+    start = &local_start.emplace(make_packed_start<W>(compiled, g, old_of_new));
+  }
+  expects(start->config.size() == static_cast<std::size_t>(n),
+          "run_silent: shared initial state does not match the graph");
+  std::vector<W> config = start->config;
+  std::int64_t totals[kMaxCensusCounters] = {};
+  for (int i = 0; i < traits::kCounters; ++i) {
+    totals[i] = start->totals[static_cast<std::size_t>(i)];
+  }
+  edge_class_census ecensus;
+  if constexpr (kEdgeCensus) ecensus = start->ecensus;
+  if constexpr (Probe::enabled) {
+    expects(probe != nullptr, "run_silent: enabled probe type needs a probe");
+  }
+  const auto stable_now = [&] {
+    if constexpr (Probe::enabled) probe->on_predicate_evals(1);
+    if constexpr (kEdgeCensus) {
+      return traits::stable(totals, ecensus.pairs());
+    } else {
+      return traits::stable(totals);
+    }
+  };
+
+  std::vector<std::uint8_t> seen;
+  const bool census = options.state_census;
+  if (census) {
+    seen.assign(table.num_states(), 0);
+    for (const auto id : config) seen[id] = 1;
+  }
+
+  const std::uint64_t m = static_cast<std::uint64_t>(edges.pairs.size());
+  const std::uint64_t two_m = 2 * m;
+  const auto* const pairs = edges.pairs.data();
+
+  // Activity of oriented pair k under the *current* config: k < m is edge k
+  // in stored orientation (initiator = a), k >= m is edge k - m flipped.
+  const auto pair_active = [&](std::uint64_t k) {
+    const bool flip = k >= m;
+    const auto pr = pairs[flip ? k - m : k];
+    const W ca = config[static_cast<std::size_t>(flip ? pr.b : pr.a)];
+    const W cb = config[static_cast<std::size_t>(flip ? pr.a : pr.b)];
+    const packed_entry<W> e = table.at(ca, cb);
+    return e.a2 != ca || e.b2 != cb;
+  };
+
+  active_pair_set active(two_m);
+  for (std::uint64_t k = 0; k < two_m; ++k) {
+    active.set(static_cast<std::uint32_t>(k), pair_active(k));
+  }
+  // Re-evaluates both orientations of every edge incident to v.  An edge
+  // whose other endpoint also flipped this step gets walked twice; the
+  // evaluation reads the current config, so the second pass is a no-op.
+  const auto reeval_node = [&](std::size_t v) {
+    for (const std::uint32_t j : adj.row(v)) {
+      active.set(j, pair_active(j));
+      active.set(j + static_cast<std::uint32_t>(m),
+                 pair_active(j + static_cast<std::uint64_t>(m)));
+    }
+  };
+
+  block_rng draw(gen);
+  election_result result;
+  std::uint64_t steps = 0;
+  const auto capped = [&](std::uint64_t at) {
+    result.steps = at;
+    if (census) {
+      for (const auto s : seen) result.distinct_states_used += s;
+    }
+    return result;
+  };
+
+  while (!stable_now()) {
+    if (steps >= options.max_steps) return capped(steps);
+    const std::uint64_t remaining = options.max_steps - steps;
+    const std::uint64_t a = active.size();
+    if (a == 0) {
+      // No transition can ever fire again; the remaining budget is all
+      // silent.  (With the default unbounded budget this is the reference
+      // engine's forever-spin, delivered in O(1).)
+      if constexpr (Probe::enabled) probe->on_steps(remaining, 0);
+      return capped(options.max_steps);
+    }
+    const std::uint64_t skip = sample_silent_run(
+        [&] { return draw.uniform01(); }, a, two_m, remaining);
+    if constexpr (Probe::enabled) probe->on_draws(1);
+    if (skip >= remaining) {
+      if constexpr (Probe::enabled) probe->on_steps(remaining, 0);
+      return capped(options.max_steps);
+    }
+    // The active step after the silent run: uniform over the active list.
+    const std::uint32_t k = active.at(draw.uniform_below(a));
+    if constexpr (Probe::enabled) probe->on_draws(1);
+    const bool flip = k >= m;
+    const auto pr = pairs[flip ? k - m : k];
+    const auto u = static_cast<std::size_t>(flip ? pr.b : pr.a);
+    const auto v = static_cast<std::size_t>(flip ? pr.a : pr.b);
+    const W ca = config[u];
+    const W cb = config[v];
+    const packed_entry<W> e = table.at(ca, cb);
+    config[u] = e.a2;
+    config[v] = e.b2;
+    steps += skip + 1;
+    if constexpr (Probe::enabled) probe->on_steps(skip + 1, 1);
+    if (census) {
+      if (e.a2 != ca) seen[e.a2] = 1;
+      if (e.b2 != cb) seen[e.b2] = 1;
+    }
+    bool moved = e.delta_nonzero();
+    if constexpr (kEdgeCensus) {
+      if (e.a2 != ca) {
+        moved |= ecensus.reclass(*adjacency, u, compiled.state_class(e.a2));
+      }
+      if (e.b2 != cb) {
+        moved |= ecensus.reclass(*adjacency, v, compiled.state_class(e.b2));
+      }
+    }
+    if (e.delta_nonzero()) {
+      for (int c = 0; c < traits::kCounters; ++c) {
+        totals[c] += e.delta_of(c);
+      }
+    }
+    // Membership re-evaluation after both words are stored; the drawn pair
+    // itself is covered by its endpoints' walks.
+    if (e.a2 != ca) reeval_node(u);
+    if (e.b2 != cb) reeval_node(v);
+    if constexpr (Probe::enabled) {
+      if (probe->want_census(steps)) {
+        probe->on_census(steps, totals, traits::kCounters);
+      }
+      if (probe->want_active_set(steps)) {
+        probe->on_active_set(steps, active.size());
+      }
+    }
+    if (moved && stable_now()) break;
+    // Loop condition re-checks stability; `moved == false` steps (pure
+    // state swaps) cannot flip the predicate, and the while-condition's
+    // extra evaluation keeps the loop structure simple.
+  }
+
+  result.stabilized = true;
+  result.steps = steps;
+  if (census) {
+    for (const auto s : seen) result.distinct_states_used += s;
+  }
+  result.leader = elected_leader_compiled(config, compiled, old_of_new);
+  return result;
+}
+
+}  // namespace pp

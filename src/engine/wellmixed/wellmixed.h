@@ -29,11 +29,16 @@
 //
 // Approximation caveat (why this is opt-in): within one batch every draw is
 // taken from the *pre-batch* counts, i.e. the composition is multinomial
-// where the exact process is a Markov chain over interactions.  The error
-// per batch is O(B/n) in the pair-class rates; with the default B = n/64 the
-// simulated law is indistinguishable from the exact one at the resolution of
-// our experiments (bench/wellmixed.cpp enforces 3σ agreement of mean
-// stabilization steps against the per-interaction engine at overlapping n).
+// where the exact process is a Markov chain over interactions.  The bias per
+// batch scales with how much the composition actually moves, so the default
+// leap is *error-controlled*: B starts at n/64 and is retuned after every
+// batch toward a moved-mass target of ~n/16, growing to n in quiet phases
+// (where nearly every draw is silent and larger leaps cost no accuracy) and
+// shrinking back when the composition drifts.  The simulated law stays
+// indistinguishable from the exact one at the resolution of our experiments
+// (bench/wellmixed.cpp enforces 3σ agreement of mean stabilization steps
+// against the per-interaction engine at overlapping n); an explicit
+// sim_options::wellmixed_batch pins B fixed.
 // A batch whose bulk application would drive a counter negative — possible
 // because the multinomial can over-draw a near-empty class — is resampled at
 // half the batch size, falling back to an exact per-interaction step at
@@ -175,10 +180,27 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
   // makes no sense for the approximation (and the pick-count bookkeeping
   // assumes B <= n <= 2^31 so products with counts stay in u64 and per-cell
   // pick counts fit u32).
+  //
+  // With the knob at 0 the leap is *error-controlled* rather than fixed:
+  // the within-batch bias comes from sampling every draw against the
+  // pre-batch counts, so it scales with how much the composition moves per
+  // batch, not with B itself.  The controller targets a moved mass (Σ|net
+  // per-state change|) of ~n/16 per batch: after each applied batch B is
+  // rescaled by target/moved, clamped to a factor-2 step and [1, n].  In
+  // fully active phases this recovers the old conservative B ≈ n/64; in
+  // quiet phases (waiting-phase elections, where nearly every interaction
+  // is silent) B grows to n and the engine advances time analytically —
+  // the same "skip the quiet phase" shape as the silent-edge scheduler.
+  // The controller is a deterministic function of the sampled trajectory,
+  // so fixed-seed determinism is preserved; an explicit knob pins B fixed
+  // (the tests' determinism/contract cases rely on that).
   const std::uint64_t auto_batch = n / 64 > 0 ? n / 64 : 1;
+  const bool adaptive = options.wellmixed_batch == 0;
   const std::uint64_t requested =
       options.wellmixed_batch > 0 ? options.wellmixed_batch : auto_batch;
   const std::uint64_t batch_size = requested < n ? requested : n;
+  std::uint64_t adaptive_batch = batch_size;
+  const std::uint64_t moved_target = n / 16 > 0 ? n / 16 : 1;
 
   // All batch randomness flows through the block-buffered generator: one
   // rng::fill call per 1024 raw words and inline Lemire reduction, instead
@@ -271,8 +293,12 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
     return true;
   };
 
+  // Applies the accumulated net change; returns the moved mass Σ|net| (the
+  // adaptive controller's error signal — zero iff the batch was all-silent).
   auto apply_net = [&] {
+    std::uint64_t moved = 0;
     for (const auto t : touched) {
+      moved += static_cast<std::uint64_t>(net[t] < 0 ? -net[t] : net[t]);
       counts[t] = static_cast<std::uint64_t>(
           static_cast<std::int64_t>(counts[t]) + net[t]);
       if (counts[t] > 0) {
@@ -281,6 +307,26 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       }
     }
     for (int c = 0; c < traits::kCounters; ++c) totals[c] += batch_delta[c];
+    return moved;
+  };
+
+  // Error-controlled leap update: rescale the next batch toward the moved-
+  // mass target, at most doubling/halving per batch and clamped to [1, n].
+  // (applied_B <= n <= 2^31 and moved_target <= n, so the product fits u64;
+  // pure integer arithmetic keeps the trajectory machine-independent.)
+  auto retune_batch = [&](std::uint64_t moved, std::uint64_t applied_B) {
+    if (!adaptive) return;
+    std::uint64_t next;
+    if (moved == 0) {
+      next = adaptive_batch * 2;
+    } else {
+      next = applied_B * moved_target / moved;
+      if (next < applied_B / 2) next = applied_B / 2;
+      if (next > applied_B * 2) next = applied_B * 2;
+    }
+    if (next < 1) next = 1;
+    if (next > n) next = n;
+    adaptive_batch = next;
   };
 
   // Drops emptied ids, re-sorts the survivors by descending count and
@@ -584,18 +630,23 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       }
       return result;
     }
-    std::uint64_t B = batch_size;
+    std::uint64_t B = adaptive ? adaptive_batch : batch_size;
     if (options.max_steps - steps < B) B = options.max_steps - steps;
     while (true) {
       if (B <= 1) {
         single_step();  // records its own on_step/on_draws
         ++steps;
         probe_advance(0, 0, steps);
+        // Grow back out of the exact regime so one over-drawn batch does
+        // not pin the adaptive leap at per-interaction cost forever.
+        if (adaptive && adaptive_batch < n) adaptive_batch *= 2;
         break;
       }
       sample_batch(B);
       if (!accumulate_net(classes)) {
         B /= 2;  // over-drew a near-empty class: retry at half the leap
+        // Persist the damping so the next outer batch starts smaller too.
+        if (adaptive && adaptive_batch > 1) adaptive_batch /= 2;
         if constexpr (Probe::enabled) probe->on_batch_retry();
         continue;
       }
@@ -605,7 +656,7 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       }
       if constexpr (Probe::enabled) probe->on_predicate_evals(1);
       if (!traits::stable(after)) {
-        apply_net();
+        retune_batch(apply_net(), B);
         steps += B;
         probe_advance(B, batch_active, steps);
         break;
@@ -618,6 +669,7 @@ election_result run_wellmixed(compiled_protocol<P>& compiled,
       const std::uint64_t t = first_stable_prefix(start, B);
       if (!accumulate_net(prefix)) {
         B /= 2;
+        if (adaptive && adaptive_batch > 1) adaptive_batch /= 2;
         if constexpr (Probe::enabled) probe->on_batch_retry();
         continue;
       }

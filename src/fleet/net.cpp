@@ -148,7 +148,7 @@ bool parse_host_list(const std::string& text, std::vector<host_addr>& out) {
 
 std::vector<std::uint8_t> encode_sweep_request(const sweep_request& request) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(77 + request.faults.size());
+  payload.reserve(78 + request.faults.size());
   pack<std::uint8_t>(payload, static_cast<std::uint8_t>(msg_type::req_sweep));
   pack<std::uint32_t>(payload, request.version);
   pack<std::uint64_t>(payload, request.artifact_checksum);
@@ -160,6 +160,7 @@ std::vector<std::uint8_t> encode_sweep_request(const sweep_request& request) {
   pack<std::uint64_t>(payload, request.count);
   pack<std::uint64_t>(payload, request.max_steps);
   pack<std::uint64_t>(payload, request.wellmixed_batch);
+  pack<std::uint8_t>(payload, request.scheduler);
   pack<std::uint32_t>(payload,
                       static_cast<std::uint32_t>(request.faults.size()));
   payload.insert(payload.end(), request.faults.begin(), request.faults.end());
@@ -184,6 +185,7 @@ bool decode_sweep_request(const std::uint8_t* payload, std::size_t length,
       !unpack(payload, length, off, r.count) ||
       !unpack(payload, length, off, r.max_steps) ||
       !unpack(payload, length, off, r.wellmixed_batch) ||
+      !unpack(payload, length, off, r.scheduler) ||
       !unpack(payload, length, off, faults_length)) {
     return false;
   }
@@ -400,6 +402,7 @@ std::vector<election_result> supervised_remote_sweep(
     request.count = chunk.count;
     request.max_steps = manifest.max_steps;
     request.wellmixed_batch = manifest.wellmixed_batch;
+    request.scheduler = static_cast<std::uint8_t>(manifest.scheduler);
     if (inject && !options.faults.empty()) {
       request.faults = to_string(options.faults);
     }

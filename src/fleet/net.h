@@ -40,7 +40,7 @@ namespace pp::fleet::net {
 
 // Protocol version both ends must agree on exactly; bumped whenever a
 // message layout or the record frame changes.
-inline constexpr std::uint32_t kNetVersion = 1;
+inline constexpr std::uint32_t kNetVersion = 2;
 
 // Handshake frames are small except ARTIFACT_DATA, which carries a whole
 // .ppaf container; 1 GiB bounds hostile length prefixes without constraining
@@ -85,6 +85,9 @@ struct sweep_request {
   std::uint64_t count = 0;
   std::uint64_t max_steps = UINT64_MAX;
   std::uint64_t wellmixed_batch = 0;
+  // scheduler_kind as u8 on the wire (0 = step, 1 = silent); a runtime knob
+  // like max_steps, never part of the artifact.
+  std::uint8_t scheduler = 0;
   std::string faults;  // fault.h spec list for this connection ("" = none)
 
   friend bool operator==(const sweep_request&, const sweep_request&) = default;

@@ -268,6 +268,8 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
         sim_options options;
         options.max_steps = request.max_steps;
         options.wellmixed_batch = request.wellmixed_batch;
+        options.scheduler = request.scheduler == 1 ? scheduler_kind::silent
+                                                   : scheduler_kind::step;
         // Trial t uses rng(seed).fork(2).fork(t) — the serial derivation, so
         // remote merges are byte-identical to serial runs.
         const rng seed_gen = rng(request.seed).fork(2);

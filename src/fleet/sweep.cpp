@@ -277,6 +277,7 @@ void write_manifest(const worker_manifest& manifest, const std::string& path) {
                static_cast<unsigned long long>(manifest.max_steps));
   std::fprintf(f, "batch=%llu\n",
                static_cast<unsigned long long>(manifest.wellmixed_batch));
+  std::fprintf(f, "scheduler=%s\n", to_string(manifest.scheduler));
   expects(std::fclose(f) == 0, "write_manifest: short write to " + path);
 }
 
@@ -322,6 +323,11 @@ worker_manifest read_manifest(const std::string& path) {
       m.max_steps = num;
     } else if (key == "batch" && numeric) {
       m.wellmixed_batch = num;
+    } else if (key == "scheduler" && (value == "step" || value == "silent")) {
+      // Absent in pre-silent manifests (defaults to step); a hand-edited
+      // unknown value is rejected like any other malformed key below.
+      m.scheduler =
+          value == "silent" ? scheduler_kind::silent : scheduler_kind::step;
     } else {
       saw_header = false;  // unknown key or bad value: reject below
       break;

@@ -134,6 +134,9 @@ struct worker_manifest {
   int jobs = 1;
   std::uint64_t max_steps = UINT64_MAX;
   std::uint64_t wellmixed_batch = 0;
+  // Runtime scheduler choice (core/simulator.h): step or silent.  A runtime
+  // knob like max_steps — never part of the artifact.
+  scheduler_kind scheduler = scheduler_kind::step;
 };
 
 void write_manifest(const worker_manifest& manifest, const std::string& path);

@@ -36,6 +36,13 @@ struct census_sample {
   std::array<std::int64_t, 4> totals{};
 };
 
+// One sampled point of the silent scheduler's active-set trajectory: how
+// many of the 2m oriented pairs were non-silent after `step` steps.
+struct active_set_sample {
+  std::uint64_t step = 0;
+  std::uint64_t active_pairs = 0;
+};
+
 struct probe_stats {
   std::uint64_t steps = 0;            // interactions simulated
   std::uint64_t active_steps = 0;     // steps that changed some state
@@ -45,6 +52,8 @@ struct probe_stats {
   std::uint64_t batches = 0;          // wellmixed batches applied
   std::uint64_t batch_retries = 0;    // wellmixed half-B retries
   std::vector<census_sample> census;  // sampled trajectory, step-ascending
+  // Active-pair trajectory (silent scheduler only), step-ascending.
+  std::vector<active_set_sample> active_sets;
 
   std::uint64_t silent_steps() const { return steps - active_steps; }
 };
@@ -64,6 +73,8 @@ struct null_probe {
   void on_batch_retry() {}
   bool want_census(std::uint64_t) const { return false; }
   void on_census(std::uint64_t, const std::int64_t*, int) {}
+  bool want_active_set(std::uint64_t) const { return false; }
+  void on_active_set(std::uint64_t, std::uint64_t) {}
 };
 
 // The full probe.  `stride` controls census sampling: a sample is recorded
@@ -81,7 +92,8 @@ class run_probe {
   static constexpr std::uint64_t kDefaultStride = 1024;
 
   explicit run_probe(std::uint64_t stride = kDefaultStride)
-      : stride_(stride), next_(stride) {}
+      : stride_(stride), next_(stride), active_stride_(stride),
+        active_next_(stride) {}
 
   void on_step(bool active) {
     ++stats_.steps;
@@ -111,12 +123,26 @@ class run_probe {
     if (stats_.census.size() >= kMaxSamples) thin();
   }
 
+  // The active-set trajectory rides the same stride/thinning discipline as
+  // the census samples, on its own crossing counter (a silent run may jump
+  // many strides at once; one sample per advance is recorded).
+  bool want_active_set(std::uint64_t step) const {
+    return active_stride_ != 0 && step >= active_next_;
+  }
+  void on_active_set(std::uint64_t step, std::uint64_t active_pairs) {
+    stats_.active_sets.push_back({step, active_pairs});
+    active_next_ = step - step % active_stride_ + active_stride_;
+    if (stats_.active_sets.size() >= kMaxSamples) thin_active();
+  }
+
   std::uint64_t stride() const { return stride_; }
   const probe_stats& stats() const { return stats_; }
 
   void reset() {
     stats_ = probe_stats{};
     next_ = stride_;
+    active_stride_ = stride_;
+    active_next_ = stride_;
   }
 
  private:
@@ -130,9 +156,21 @@ class run_probe {
     next_ = next_ - next_ % stride_ + stride_;
   }
 
+  void thin_active() {
+    std::size_t kept = 0;
+    for (std::size_t i = 1; i < stats_.active_sets.size(); i += 2) {
+      stats_.active_sets[kept++] = stats_.active_sets[i];
+    }
+    stats_.active_sets.resize(kept);
+    active_stride_ *= 2;
+    active_next_ = active_next_ - active_next_ % active_stride_ + active_stride_;
+  }
+
   probe_stats stats_;
   std::uint64_t stride_ = kDefaultStride;
   std::uint64_t next_ = kDefaultStride;
+  std::uint64_t active_stride_ = kDefaultStride;
+  std::uint64_t active_next_ = kDefaultStride;
 };
 
 }  // namespace pp::obs

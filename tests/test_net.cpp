@@ -27,6 +27,22 @@
 namespace pp::fleet {
 namespace {
 
+// Sanitizer builds run the engine an order of magnitude slower, so the
+// inactivity timeout armed by the stall test must stay above a healthy
+// worker's sanitized inter-record gap or the supervisor reclaims live
+// connections and drains the retry budget on them.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int kStallTimeoutMs = 10'000;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr int kStallTimeoutMs = 10'000;
+#else
+constexpr int kStallTimeoutMs = 250;
+#endif
+#else
+constexpr int kStallTimeoutMs = 250;
+#endif
+
 TEST(NetParse, AcceptsHostPortAndRejectsEverythingElse) {
   net::host_addr addr;
   ASSERT_TRUE(net::parse_host("127.0.0.1:9000", addr));
@@ -190,7 +206,7 @@ TEST_F(RemoteSweep, StalledConnectionIsReclaimedByTheTimeout) {
   obs::metrics_registry metrics;
   supervise_options options;
   options.faults = {{fault_kind::stall, 1, 2}};
-  options.worker_timeout_ms = 250;
+  options.worker_timeout_ms = kStallTimeoutMs;
   options.metrics = &metrics;
   const auto results = net::supervised_remote_sweep(
       loopback(daemon.port(), 2), 2, manifest_, options);

@@ -18,6 +18,7 @@
 #include "core/majority.h"
 #include "graph/generators.h"
 #include "graph/metrics.h"
+#include "stat_gate.h"
 
 namespace pp {
 namespace {
@@ -170,16 +171,7 @@ void expect_3sigma_agreement(const P& proto, const graph& g, int trials,
       measure_election_tuned(proto, g, trials, rng(seed));
   const auto reordered = measure_election_tuned(proto, g, trials, rng(seed + 1),
                                                 {}, {order, 0});
-  ASSERT_EQ(natural.stabilized_fraction, 1.0);
-  ASSERT_EQ(reordered.stabilized_fraction, 1.0);
-  const double se_n =
-      natural.steps.stddev / std::sqrt(static_cast<double>(natural.steps.count));
-  const double se_r = reordered.steps.stddev /
-                      std::sqrt(static_cast<double>(reordered.steps.count));
-  const double sigma = std::sqrt(se_n * se_n + se_r * se_r);
-  ASSERT_GT(sigma, 0.0);
-  EXPECT_LE(std::fabs(natural.steps.mean - reordered.steps.mean), 3.0 * sigma)
-      << to_string(order);
+  stat_gate::expect_step_agreement(natural, reordered, to_string(order));
 }
 
 TEST(Reorder, BeauquierElectionTimeAgreesUnderRcm) {

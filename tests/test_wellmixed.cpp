@@ -19,6 +19,7 @@
 #include "core/majority.h"
 #include "engine/wellmixed/sampling.h"
 #include "graph/generators.h"
+#include "stat_gate.h"
 
 namespace pp {
 namespace {
@@ -194,23 +195,16 @@ TEST(WellMixed, MajorityConsensusMatchesVoteMajority) {
 // 3σ agreement of mean stabilization steps between the per-interaction
 // compiled engine and the well-mixed batch engine on the same protocol and
 // population.  This is the engine's core statistical-correctness contract
-// (the batching approximation must be invisible at this resolution).
+// (the batching approximation must be invisible at this resolution); the
+// threshold itself lives in tests/stat_gate.h, shared with the reorder and
+// silent-scheduler suites.
 template <typename P>
 void expect_agreement(const P& proto, std::uint64_t n, int trials,
                       std::uint64_t seed) {
   const graph g = make_clique(static_cast<node_id>(n));
   const auto engine = measure_election_fast(proto, g, trials, rng(seed));
   const auto wm = measure_election_wellmixed(proto, n, trials, rng(seed + 1));
-  ASSERT_EQ(engine.stabilized_fraction, 1.0);
-  ASSERT_EQ(wm.stabilized_fraction, 1.0);
-  const double se_engine =
-      engine.steps.stddev / std::sqrt(static_cast<double>(engine.steps.count));
-  const double se_wm =
-      wm.steps.stddev / std::sqrt(static_cast<double>(wm.steps.count));
-  const double se = std::sqrt(se_engine * se_engine + se_wm * se_wm);
-  EXPECT_NEAR(wm.steps.mean, engine.steps.mean, 3.0 * se)
-      << "wellmixed mean " << wm.steps.mean << " vs engine mean "
-      << engine.steps.mean << " (3 sigma = " << 3.0 * se << ")";
+  stat_gate::expect_step_agreement(engine, wm, "wellmixed vs engine");
 }
 
 TEST(WellMixed, AgreesWithEngineFastProtocol) {

@@ -21,6 +21,7 @@ REQUIRED_KEYS = {
     "engine": ["results"],
     "locality": ["equivalence", "matrix", "equivalence_pass", "locality_pass"],
     "wellmixed": ["agreement", "rates", "agreement_pass", "scale_pass"],
+    "silent": ["agreement", "rates", "agreement_pass", "scale_pass"],
     "fleet": [
         "results",
         "determinism_pass",
