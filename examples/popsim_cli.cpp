@@ -81,6 +81,10 @@
 //             spans — loadable in chrome://tracing or ui.perfetto.dev
 //   --probe-stride  census-sampling stride for the engine probes riding
 //             --metrics/--trace (default 1024 steps)
+//   --progress  emit a throttled live status line (trials done/total,
+//             per-slot state, EWMA trial rate -> ETA) on stderr from the
+//             sweep supervisor; works identically in fork, --hosts and
+//             --resume modes, and stdout stays byte-identical to serial
 //   --log-level  stderr chattiness: error|warn|info|debug (default info;
 //             the POPSIM_LOG env var sets the same threshold)
 //
@@ -167,6 +171,8 @@ int usage() {
                "the sweep (chrome://tracing / ui.perfetto.dev)\n"
                "  --probe-stride N  census-sampling stride for the probes "
                "riding --metrics/--trace (default 1024)\n"
+               "  --progress  live sweep status line on stderr (trials done, "
+               "rate, ETA, slot states); stdout is untouched\n"
                "  --log-level L  stderr threshold error|warn|info|debug "
                "(default info; POPSIM_LOG sets the same)\n");
   return 2;
@@ -197,6 +203,7 @@ struct cli_config {
   std::string trace_path;
   std::uint64_t probe_stride = pp::obs::run_probe::kDefaultStride;
   bool probe_stride_requested = false;
+  bool progress = false;
   std::vector<pp::fleet::net::host_addr> hosts;
   bool serve_requested = false;
   std::uint64_t serve_port = 0;
@@ -211,7 +218,7 @@ struct cli_config {
   bool supervised() const {
     return !journal_path.empty() || resume || retries_requested ||
            worker_timeout_ms > 0 || !faults.empty() || observed() ||
-           !hosts.empty();
+           progress || !hosts.empty();
   }
 
   // Worker slot count the sweep actually runs with: --jobs when explicit,
@@ -233,6 +240,7 @@ struct cli_config {
     sup.journal_tag = seed;
     sup.faults = faults;
     sup.probe_stride = probe_stride;
+    sup.progress = progress;
     return sup;
   }
 };
@@ -338,6 +346,8 @@ bool parse_flags(int argc, char** argv, int start, cli_config& cfg) {
         return false;
       }
       cfg.probe_stride_requested = true;
+    } else if (flag == "--progress") {
+      cfg.progress = true;
     } else if (flag == "--log-level" && i + 1 < argc) {
       pp::obs::log_level level = pp::obs::log_level::info;
       const std::string name = argv[++i];
@@ -409,7 +419,8 @@ bool validate_fleet_flags(const cli_config& cfg) {
     if (!cfg.load_path.empty() || !cfg.save_path.empty() ||
         !cfg.journal_path.empty() || cfg.resume || cfg.retries_requested ||
         cfg.worker_timeout_ms > 0 || !cfg.faults.empty() || cfg.observed() ||
-        cfg.engine_requested || cfg.tuning_requested || cfg.jobs != 1) {
+        cfg.progress || cfg.engine_requested || cfg.tuning_requested ||
+        cfg.jobs != 1) {
       std::fprintf(stderr,
                    "popsim: --serve is a resident daemon; it takes only "
                    "--cache-mb and --log-level\n");
@@ -716,10 +727,13 @@ struct worker_obs {
   template <typename RunFn>
   pp::election_result trial(std::uint64_t t, pp::rng gen, RunFn&& run) {
     if (!on()) return run(gen, static_cast<pp::obs::null_probe*>(nullptr));
-    pp::obs::run_probe probe(stride);
+    // Windows close every 64 strides of steps — boundaries live on the
+    // deterministic step counter, so the ring is bit-identical across reruns.
+    pp::obs::run_probe probe(stride, stride * 64);
     const std::int64_t t0 = pp::obs::trace_now_us();
     const pp::election_result r = run(gen, &probe);
     const std::int64_t t1 = pp::obs::trace_now_us();
+    probe.finish();
     const pp::obs::probe_stats& st = probe.stats();
     if (!trace_path.empty()) {
       trace.begin_at("trial", 0, t0, {pp::obs::trace_arg::num("trial", t)});
@@ -744,6 +758,7 @@ struct worker_obs {
                   static_cast<std::uint64_t>(st.census.size()));
       metrics.add("engine.active_set_samples",
                   static_cast<std::uint64_t>(st.active_sets.size()));
+      metrics.add("engine.windows_closed", st.windows_closed);
       metrics.observe("engine.steps_per_trial", st.steps);
       metrics.observe("engine.silent_steps_per_trial", st.silent_steps());
       metrics.observe("engine.trial_duration_us",
@@ -1014,8 +1029,8 @@ int main(int argc, char** argv) {
         !compiled_engine) {
       std::fprintf(stderr,
                    "popsim: --jobs/--save-artifact/--journal/--inject-fault/"
-                   "--metrics/--trace need the compiled engine (protocol fast "
-                   "or star, or --engine wellmixed)\n");
+                   "--metrics/--trace/--progress need the compiled engine "
+                   "(protocol fast or star, or --engine wellmixed)\n");
       return usage();
     }
 

@@ -5,11 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cstdio>
 #include <cstring>
 
 #include "fleet/sweep.h"
 #include "fleet/wire.h"
+#include "obs/log.h"
 #include "support/parse.h"
 
 namespace pp::fleet {
@@ -110,15 +110,15 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
   if (!armed_ || written != spec_.after) return;
   switch (spec_.kind) {
     case fault_kind::exit:
-      std::fprintf(stderr, "fleet fault: worker w%d injected nonzero exit\n",
-                   spec_.worker);
+      obs::logf(obs::log_level::warn,
+                "fleet fault: worker w%d injected nonzero exit", spec_.worker);
       ::_exit(9);
     case fault_kind::sigkill:
       ::kill(::getpid(), SIGKILL);
       ::_exit(9);  // unreachable; SIGKILL cannot be handled
     case fault_kind::stall: {
-      std::fprintf(stderr, "fleet fault: worker w%d injected stall\n",
-                   spec_.worker);
+      obs::logf(obs::log_level::warn,
+                "fleet fault: worker w%d injected stall", spec_.worker);
       // Hang until the supervisor's timeout kills us — but bail out if the
       // parent itself dies (reparenting changes getppid) or the stream's
       // peer closes it (a pipe's read end gets POLLERR, a socket becomes
@@ -134,8 +134,8 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
       ::_exit(9);
     }
     case fault_kind::torn: {
-      std::fprintf(stderr, "fleet fault: worker w%d injected torn record\n",
-                   spec_.worker);
+      obs::logf(obs::log_level::warn,
+                "fleet fault: worker w%d injected torn record", spec_.worker);
       // A plausible record length followed by half a payload: exactly what a
       // worker killed mid-write leaves in the pipe.
       const std::uint32_t length = kTrialRecordPayload;
@@ -145,8 +145,8 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
       ::_exit(9);
     }
     case fault_kind::drop: {
-      std::fprintf(stderr, "fleet fault: worker w%d injected stream drop\n",
-                   spec_.worker);
+      obs::logf(obs::log_level::warn,
+                "fleet fault: worker w%d injected stream drop", spec_.worker);
       // Sever the stream mid-sweep.  On a socket, linger(0) aborts the
       // connection with an RST, so the reader sees a hard connection reset
       // (possibly after draining already-buffered records); on a pipe the
@@ -158,8 +158,8 @@ void fault_injector::before_record(int fd, std::uint64_t written) const {
       ::_exit(9);
     }
     case fault_kind::garbage: {
-      std::fprintf(stderr, "fleet fault: worker w%d injected garbage frame\n",
-                   spec_.worker);
+      obs::logf(obs::log_level::warn,
+                "fleet fault: worker w%d injected garbage frame", spec_.worker);
       // A complete, well-framed record whose bytes were corrupted in flight:
       // the trailing checksum no longer matches, so the reader must reject
       // the frame rather than deliver a bogus trial.

@@ -362,6 +362,96 @@ int request_sweep(const host_addr& addr, const sweep_request& request,
   return -1;
 }
 
+std::int64_t ping_daemon(int fd, std::uint64_t token, int timeout_ms) {
+  try {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(13);
+    pack<std::uint8_t>(payload, static_cast<std::uint8_t>(msg_type::ping));
+    pack<std::uint32_t>(payload, kNetVersion);
+    pack<std::uint64_t>(payload, token);
+    const steady_clock::time_point sent = steady_clock::now();
+    send_frame(fd, payload.data(), payload.size(), timeout_ms);
+    const std::vector<std::uint8_t> reply =
+        recv_frame(fd, kMaxControlPayload, timeout_ms);
+    if (reply.size() != 9 ||
+        reply[0] != static_cast<std::uint8_t>(msg_type::pong)) {
+      obs::logf(obs::log_level::debug,
+                "fleet net: health ping got a non-PONG reply (0x%02x, %zu "
+                "bytes)",
+                reply.empty() ? 0 : reply[0], reply.size());
+      return -1;
+    }
+    std::uint64_t echoed = 0;
+    std::memcpy(&echoed, reply.data() + 1, sizeof(echoed));
+    if (echoed != token) {
+      obs::logf(obs::log_level::debug,
+                "fleet net: health pong token mismatch");
+      return -1;
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               steady_clock::now() - sent)
+        .count();
+  } catch (const std::exception& e) {
+    obs::logf(obs::log_level::debug, "fleet net: health ping failed: %s",
+              e.what());
+    return -1;
+  }
+}
+
+bool fetch_stats(const host_addr& addr, std::string& json_out, int timeout_ms) {
+  const int fd = dial(addr, timeout_ms);
+  if (fd < 0) return false;
+  bool ok = false;
+  try {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(5);
+    pack<std::uint8_t>(payload, static_cast<std::uint8_t>(msg_type::stats));
+    pack<std::uint32_t>(payload, kNetVersion);
+    send_frame(fd, payload.data(), payload.size(), timeout_ms);
+    const std::vector<std::uint8_t> reply =
+        recv_frame(fd, kMaxControlPayload, timeout_ms);
+    if (!reply.empty() &&
+        reply[0] == static_cast<std::uint8_t>(msg_type::stats_ok)) {
+      json_out.assign(reply.begin() + 1, reply.end());
+      ok = true;
+    } else if (!reply.empty() &&
+               reply[0] == static_cast<std::uint8_t>(msg_type::err)) {
+      const std::string message(reply.begin() + 1, reply.end());
+      obs::logf(obs::log_level::error,
+                "fleet net: %s rejected the stats request: %s",
+                to_string(addr).c_str(), message.c_str());
+    } else {
+      obs::logf(obs::log_level::error,
+                "fleet net: unexpected stats reply 0x%02x from %s",
+                reply.empty() ? 0 : reply[0], to_string(addr).c_str());
+    }
+  } catch (const std::exception& e) {
+    obs::logf(obs::log_level::warn,
+              "fleet net: stats request to %s failed: %s",
+              to_string(addr).c_str(), e.what());
+  }
+  ::close(fd);
+  return ok;
+}
+
+namespace {
+
+// Host health prober state, one entry per listed host.  Owns a persistent
+// control connection per host (lazily dialed, redialed after a failure) so
+// the ping train rides one socket instead of a connect storm.
+struct host_health {
+  int fd = -1;
+  std::uint64_t token = 0;
+  steady_clock::time_point next_ping;  // epoch start => immediate first ping
+  int consecutive_failures = 0;
+};
+
+constexpr int kHealthIntervalMs = 1000;  // ping cadence per host
+constexpr int kHealthTimeoutMs = 1000;   // dial + round-trip budget
+constexpr int kHealthFailuresToKill = 3; // consecutive misses => host is dead
+
+}  // namespace
+
 std::vector<election_result> supervised_remote_sweep(
     const std::vector<host_addr>& hosts, int jobs,
     const worker_manifest& manifest, const supervise_options& options,
@@ -441,12 +531,89 @@ std::vector<election_result> supervised_remote_sweep(
     return child_guard::child{-1, fd};
   };
 
+  // Host health prober (net.h): one persistent control connection per
+  // listed host, pinged about once a second from the supervisor's
+  // health_tick hook.  The first ping fires on the first tick, so even a
+  // short CI sweep records at least one health_probe instant per host.
+  std::vector<host_health> health(hosts.size());
+  const steady_clock::time_point health_epoch = steady_clock::now();
+  for (host_health& h : health) h.next_ping = health_epoch;
+  struct health_closer {
+    std::vector<host_health>* probes;
+    ~health_closer() {
+      for (host_health& h : *probes) {
+        if (h.fd >= 0) {
+          ::close(h.fd);
+          h.fd = -1;
+        }
+      }
+    }
+  } closer{&health};
+  supervise_options probed_options = options;
+  probed_options.health_tick = [&]() {
+    std::vector<int> dead_slots;
+    const steady_clock::time_point now = steady_clock::now();
+    for (std::size_t hi = 0; hi < hosts.size(); ++hi) {
+      host_health& h = health[hi];
+      if (now < h.next_ping) continue;
+      h.next_ping = now + std::chrono::milliseconds(kHealthIntervalMs);
+      if (h.fd < 0) h.fd = dial(hosts[hi], kHealthTimeoutMs);
+      std::int64_t rtt_us = -1;
+      if (h.fd >= 0) {
+        rtt_us = ping_daemon(h.fd, ++h.token, kHealthTimeoutMs);
+        if (rtt_us < 0) {
+          // One socket strike: drop the connection so the next tick
+          // redials instead of reading a desynchronised stream.
+          ::close(h.fd);
+          h.fd = -1;
+        }
+      }
+      const bool ok = rtt_us >= 0;
+      h.consecutive_failures = ok ? 0 : h.consecutive_failures + 1;
+      if (options.trace != nullptr) {
+        options.trace->instant(
+            "health_probe", 0,
+            {obs::trace_arg::str("host", hosts[hi].host),
+             obs::trace_arg::num("port",
+                                 static_cast<std::int64_t>(hosts[hi].port)),
+             obs::trace_arg::num("rtt_us", rtt_us),
+             obs::trace_arg::num("ok", static_cast<std::int64_t>(ok ? 1 : 0))});
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->add("fleet.net.health.pings");
+        if (ok) {
+          options.metrics->add("fleet.net.health.pongs");
+          options.metrics->observe("fleet.net.health.rtt_us",
+                                   static_cast<std::uint64_t>(rtt_us));
+        } else {
+          options.metrics->add("fleet.net.health.failures");
+        }
+      }
+      if (h.consecutive_failures >= kHealthFailuresToKill) {
+        obs::logf(obs::log_level::warn,
+                  "fleet net: host %s failed %d consecutive health pings; "
+                  "failing its running slots",
+                  to_string(hosts[hi]).c_str(), h.consecutive_failures);
+        if (options.metrics != nullptr) {
+          options.metrics->add("fleet.net.health.hosts_failed");
+        }
+        h.consecutive_failures = 0;  // re-arm: 3 more misses to fail again
+        for (int slot = 0; slot < jobs; ++slot) {
+          if (static_cast<std::size_t>(slot) % hosts.size() == hi) {
+            dead_slots.push_back(slot);
+          }
+        }
+      }
+    }
+    return dead_slots;
+  };
+
   // Trial t uses rng(seed).fork(2).fork(t) — the exact derivation of serial
   // sweeps, popsim --worker, and popsimd runner children (service.cpp), so
   // a remote merge is byte-identical to a serial run.
   const rng seed_gen = rng(manifest.seed).fork(2);
-  return detail::supervise(manifest.trials, seed_gen, jobs, options, launch,
-                           inline_fn, "supervised_remote_sweep");
+  return detail::supervise(manifest.trials, seed_gen, jobs, probed_options,
+                           launch, inline_fn, "supervised_remote_sweep");
 }
 
 }  // namespace pp::fleet::net

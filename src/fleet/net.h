@@ -19,6 +19,21 @@
 //                                             checksum/validation failure —
 //                                             loud rejection, then close)
 //
+// Control-plane messages (v3) ride the same framing on their own
+// connections, which the daemon keeps open across any number of frames:
+//
+//   PING {version, token}                 ─►
+//                                         ◄─  PONG {token}      (echoed)
+//   STATS {version}                       ─►
+//                                         ◄─  STATS_OK {metrics JSON}
+//
+// PING/PONG is the supervisor's host health probe (rtt + liveness,
+// fleet.net.health.* metrics); STATS snapshots the daemon's metrics
+// registry (cache hits/evictions/bytes, live children, per-request
+// counters) as the deterministic metrics-JSON payload, read-only — it
+// never touches sweeps.  Version skew on either is rejected loudly with
+// ERR, exactly like REQ_SWEEP.
+//
 // After OK_CACHED the connection carries nothing but trial-record frames
 // (sweep.h layout) until a clean EOF at a frame boundary — exactly a pipe
 // worker's stream, which is the whole point: supervised_remote_sweep hands
@@ -39,8 +54,11 @@
 namespace pp::fleet::net {
 
 // Protocol version both ends must agree on exactly; bumped whenever a
-// message layout or the record frame changes.
-inline constexpr std::uint32_t kNetVersion = 2;
+// message layout or the message set changes.  v2 -> v3 added the PING /
+// PONG / STATS / STATS_OK control plane; skew policy stays all-or-nothing
+// (a v2 peer is rejected loudly — no downgrade negotiation), see
+// src/fleet/README.md.
+inline constexpr std::uint32_t kNetVersion = 3;
 
 // Handshake frames are small except ARTIFACT_DATA, which carries a whole
 // .ppaf container; 1 GiB bounds hostile length prefixes without constraining
@@ -50,9 +68,13 @@ inline constexpr std::uint32_t kMaxControlPayload = 1u << 30;
 enum class msg_type : std::uint8_t {
   req_sweep = 0x01,
   artifact_data = 0x02,
+  ping = 0x03,       // [u8 type][u32 version][u64 token]
+  stats = 0x04,      // [u8 type][u32 version]
   ok_cached = 0x10,
   need_artifact = 0x11,
   err = 0x12,
+  pong = 0x13,       // [u8 type][u64 token]
+  stats_ok = 0x14,   // [u8 type][metrics JSON bytes]
 };
 
 // One remote worker endpoint.
@@ -122,6 +144,18 @@ int request_sweep(const host_addr& addr, const sweep_request& request,
                   const std::vector<std::uint8_t>& artifact_bytes,
                   int timeout_ms, bool* shipped);
 
+// One health round-trip on an already-connected control fd: sends
+// PING{token} and awaits the matching PONG.  Returns the rtt in
+// microseconds, or -1 on timeout / ERR / token mismatch (logged at debug —
+// the caller owns failure accounting).  The daemon keeps the connection
+// open, so one fd serves a sweep's whole ping train.
+std::int64_t ping_daemon(int fd, std::uint64_t token, int timeout_ms);
+
+// Dials `addr` and snapshots the daemon's metrics registry: STATS ->
+// STATS_OK{json}.  Returns false (logged) on connect failure, timeout or
+// rejection; on success `json_out` holds the deterministic metrics JSON.
+bool fetch_stats(const host_addr& addr, std::string& json_out, int timeout_ms);
+
 // Distributed supervised sweep: slot i of `jobs` dials hosts[i % size] —
 // pass jobs == hosts.size() for one connection per listed host, or more for
 // several concurrent chunks per daemon.  Fault specs in `options` are
@@ -130,6 +164,13 @@ int request_sweep(const host_addr& addr, const sweep_request& request,
 // artifact_ship trace instants and fleet.net.* metrics into the options'
 // sinks.  The manifest's artifact_path is read and checksummed locally;
 // its jobs field is ignored in favour of `jobs`.
+//
+// Installs a host health prober on the supervisor's health_tick hook: each
+// listed host gets a persistent control connection carrying a PING about
+// once a second (first ping immediately), recorded as health_probe trace
+// instants and fleet.net.health.* metrics.  Three consecutive failed pings
+// judge the host dead and fail its running slots early (normal backoff /
+// reassignment applies); pongs never extend a slot's inactivity deadline.
 std::vector<election_result> supervised_remote_sweep(
     const std::vector<host_addr>& hosts, int jobs,
     const worker_manifest& manifest, const supervise_options& options,

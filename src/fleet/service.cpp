@@ -21,6 +21,7 @@
 #include "fleet/sweep.h"
 #include "fleet/wire.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "support/expects.h"
 
 namespace pp::fleet {
@@ -104,11 +105,29 @@ struct sweep_service::state {
   std::vector<connection> conns;
   std::vector<pid_t> children;
   std::uint64_t lru_tick = 0;
+  // The daemon's observable surface, snapshotted verbatim by the STATS
+  // message (net.h) as the deterministic metrics JSON.  Counters are
+  // pre-registered in the constructor so a snapshot is complete from the
+  // first request onward.
+  obs::metrics_registry metrics;
 
   std::uint64_t cache_bytes() const {
     std::uint64_t total = 0;
     for (const auto& entry : cache) total += entry->bytes;
     return total;
+  }
+
+  // Refresh the point-in-time gauges right before a snapshot (or after any
+  // state change that moves them).
+  void refresh_gauges() {
+    metrics.set("fleet.cache.bytes",
+                static_cast<std::int64_t>(cache_bytes()));
+    metrics.set("fleet.cache.entries",
+                static_cast<std::int64_t>(cache.size()));
+    metrics.set("fleet.children_live",
+                static_cast<std::int64_t>(children.size()));
+    metrics.set("fleet.net.connections",
+                static_cast<std::int64_t>(conns.size()));
   }
 
   std::shared_ptr<cached_sweep> lookup(std::uint64_t checksum) {
@@ -144,14 +163,31 @@ struct sweep_service::state {
                 static_cast<unsigned long long>(cache[victim]->checksum),
                 static_cast<unsigned long long>(cache[victim]->bytes),
                 static_cast<unsigned long long>(options.cache_mb));
+      metrics.add("fleet.cache.evictions");
       cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(victim));
     }
+    metrics.add("fleet.cache.insertions");
+    refresh_gauges();
   }
 };
 
 sweep_service::sweep_service(const service_options& options)
     : state_(new state{options, {}, {}, {}, 0}) {
   expects(options.cache_mb >= 1, "popsimd: cache budget must be >= 1 MB");
+  // Pre-register the STATS surface (tools/check_stats.py's required keys):
+  // a std::map-backed registry only shows a name once touched, and a
+  // snapshot missing e.g. fleet.cache.evictions would read as schema skew
+  // rather than "none yet".
+  for (const char* key :
+       {"fleet.net.requests", "fleet.net.pings", "fleet.net.stats_requests",
+        "fleet.net.rejects", "fleet.net.connections_accepted",
+        "fleet.net.artifact_bytes_received", "fleet.cache.hits",
+        "fleet.cache.misses", "fleet.cache.insertions",
+        "fleet.cache.evictions", "fleet.runners_spawned",
+        "fleet.runners_reaped"}) {
+    state_->metrics.add(key, 0);
+  }
+  state_->refresh_gauges();
   listen_fd_ = net::listen_on(options.port, options.backlog);
   port_ = net::bound_port(listen_fd_);
   const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
@@ -176,8 +212,9 @@ namespace {
 
 // Best-effort loud rejection: stderr always, the ERR frame if the peer is
 // still reading.  Returns false so `handle_frame` call sites can
-// `return reject(...)` to drop the connection.
-bool reject(const connection& conn, const std::string& message) {
+// `return reject(...)` to drop the connection.  (run() wraps this in a
+// `reject` lambda that also counts fleet.net.rejects.)
+bool reject_conn(const connection& conn, const std::string& message) {
   obs::logf(obs::log_level::error, "popsimd: rejecting connection: %s",
             message.c_str());
   try {
@@ -242,6 +279,12 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
             "popsimd: serving on port %u (cache budget %llu MB)", port_,
             static_cast<unsigned long long>(st.options.cache_mb));
 
+  const auto reject = [&st](const connection& conn,
+                            const std::string& message) {
+    st.metrics.add("fleet.net.rejects");
+    return reject_conn(conn, message);
+  };
+
   // Forks the runner child streaming `conn`'s chunk, then forgets the
   // connection (the child owns the fd's lifetime from here).
   const auto spawn_runner = [&](connection& conn,
@@ -294,6 +337,8 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
               static_cast<unsigned long long>(request.artifact_checksum),
               request.slot, static_cast<int>(pid));
     st.children.push_back(pid);
+    st.metrics.add("fleet.runners_spawned");
+    st.refresh_gauges();
     ::close(conn.fd);
     conn.fd = -1;
   };
@@ -303,11 +348,65 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
   const auto handle_frame = [&](connection& conn,
                                 const wire::frame_view& frame) -> bool {
     if (!conn.awaiting_artifact) {
+      // Control-plane messages first (v3): read-only, and the connection
+      // stays open afterwards — one health socket carries a whole ping
+      // train, and a monitor may poll STATS repeatedly.
+      const std::uint8_t type = frame.payload[0];
+      if (type == static_cast<std::uint8_t>(net::msg_type::ping)) {
+        if (frame.payload_length != 13) {
+          return reject(conn, "malformed health ping");
+        }
+        std::uint32_t version = 0;
+        std::memcpy(&version, frame.payload + 1, sizeof(version));
+        if (version != net::kNetVersion) {
+          return reject(conn, "protocol version skew (client v" +
+                                  std::to_string(version) + ", daemon v" +
+                                  std::to_string(net::kNetVersion) + ")");
+        }
+        st.metrics.add("fleet.net.pings");
+        std::vector<std::uint8_t> reply(9);
+        reply[0] = static_cast<std::uint8_t>(net::msg_type::pong);
+        std::memcpy(reply.data() + 1, frame.payload + 5, 8);  // echo the token
+        try {
+          net::send_frame(conn.fd, reply.data(), reply.size(),
+                          kHandshakeIdleMs);
+        } catch (const std::exception&) {
+          return false;  // peer vanished between ping and pong
+        }
+        return true;
+      }
+      if (type == static_cast<std::uint8_t>(net::msg_type::stats)) {
+        if (frame.payload_length != 5) {
+          return reject(conn, "malformed stats request");
+        }
+        std::uint32_t version = 0;
+        std::memcpy(&version, frame.payload + 1, sizeof(version));
+        if (version != net::kNetVersion) {
+          return reject(conn, "protocol version skew (client v" +
+                                  std::to_string(version) + ", daemon v" +
+                                  std::to_string(net::kNetVersion) + ")");
+        }
+        st.metrics.add("fleet.net.stats_requests");
+        st.refresh_gauges();
+        const std::string json = st.metrics.json();
+        std::vector<std::uint8_t> reply;
+        reply.reserve(1 + json.size());
+        reply.push_back(static_cast<std::uint8_t>(net::msg_type::stats_ok));
+        reply.insert(reply.end(), json.begin(), json.end());
+        try {
+          net::send_frame(conn.fd, reply.data(), reply.size(),
+                          kHandshakeIdleMs);
+        } catch (const std::exception&) {
+          return false;
+        }
+        return true;
+      }
       net::sweep_request request;
       if (!net::decode_sweep_request(frame.payload, frame.payload_length,
                                      request)) {
         return reject(conn, "malformed sweep request");
       }
+      st.metrics.add("fleet.net.requests");
       std::string why;
       if (!valid_request(request, why)) return reject(conn, why);
       conn.request = request;
@@ -315,10 +414,12 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
         if (entry->bytes != request.artifact_size) {
           return reject(conn, "artifact size disagrees with the cached copy");
         }
+        st.metrics.add("fleet.cache.hits");
         send_control(conn, net::msg_type::ok_cached);
         spawn_runner(conn, entry);
         return false;
       }
+      st.metrics.add("fleet.cache.misses");
       send_control(conn, net::msg_type::need_artifact);
       conn.awaiting_artifact = true;
       return true;
@@ -331,6 +432,7 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
     }
     const std::uint8_t* data = frame.payload + 1;
     const std::uint64_t size = frame.payload_length - 1;
+    st.metrics.add("fleet.net.artifact_bytes_received", size);
     if (size != conn.request.artifact_size) {
       return reject(conn, "artifact size mismatch (declared " +
                               std::to_string(conn.request.artifact_size) +
@@ -382,6 +484,8 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
       const pid_t r = ::waitpid(st.children[i], &status, WNOHANG);
       if (r == st.children[i]) {
         st.children.erase(st.children.begin() + static_cast<std::ptrdiff_t>(i));
+        st.metrics.add("fleet.runners_reaped");
+        st.refresh_gauges();
       } else {
         ++i;
       }
@@ -406,6 +510,7 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
         connection conn;
         conn.fd = fd;
         st.conns.push_back(std::move(conn));
+        st.metrics.add("fleet.net.connections_accepted");
       }
     }
 
@@ -448,6 +553,10 @@ bool valid_request(const net::sweep_request& r, std::string& why) {
             break;
           }
           keep = handle_frame(conn, frame);
+          // Any complete frame is activity: a persistent control connection
+          // (health ping train, a STATS poller) must outlive the handshake
+          // idle deadline as long as it keeps talking.
+          conn.since = steady_clock::now();
           conn.buf.erase(conn.buf.begin(),
                          conn.buf.begin() +
                              static_cast<std::ptrdiff_t>(frame.frame_bytes));

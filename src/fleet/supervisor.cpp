@@ -418,6 +418,54 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
                        : "worker exited abnormally");
   };
 
+  // Live progress: a throttled stderr status line driven by the poll loop's
+  // natural cadence (the 200 ms timeout clamp).  stderr only, by contract —
+  // stdout carries the merged sweep summary and must stay byte-identical to
+  // serial.  The rate is an EWMA of completed trials per second; ETA is the
+  // outstanding remainder at that rate.
+  const steady_clock::time_point progress_start = steady_clock::now();
+  steady_clock::time_point progress_next = progress_start;
+  steady_clock::time_point progress_rate_at = progress_start;
+  std::uint64_t progress_rate_done = completed;
+  double progress_ewma = 0.0;  // trials per second
+  auto emit_progress = [&](bool final_line) {
+    const steady_clock::time_point now = steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - progress_rate_at).count();
+    if (dt > 1e-3) {
+      const double inst =
+          static_cast<double>(completed - progress_rate_done) / dt;
+      progress_ewma =
+          progress_ewma == 0.0 ? inst : 0.4 * inst + 0.6 * progress_ewma;
+      progress_rate_at = now;
+      progress_rate_done = completed;
+    }
+    std::string slot_glyphs;
+    slot_glyphs.reserve(slots.size());
+    for (const slot_state& s : slots) {
+      slot_glyphs.push_back(s.running ? 'R' : (s.waiting ? 'b' : '.'));
+    }
+    const double pct =
+        trials == 0 ? 100.0
+                    : 100.0 * static_cast<double>(completed) /
+                          static_cast<double>(trials);
+    char eta[32];
+    if (final_line || completed >= trials) {
+      std::snprintf(eta, sizeof(eta), "done");
+    } else if (progress_ewma > 1e-9) {
+      std::snprintf(eta, sizeof(eta), "eta %.0fs",
+                    static_cast<double>(trials - completed) / progress_ewma);
+    } else {
+      std::snprintf(eta, sizeof(eta), "eta ?");
+    }
+    std::fprintf(stderr,
+                 "popsim: %llu/%llu trials (%.1f%%) | %.2f trials/s | %s | "
+                 "slots [%s]%s\n",
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(trials), pct, progress_ewma,
+                 eta, slot_glyphs.c_str(), degraded ? " | degraded" : "");
+  };
+
   auto read_slot = [&](int i) {
     slot_state& s = slots[static_cast<std::size_t>(i)];
     bool eof = false;
@@ -515,6 +563,22 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     } else if (timeout > 0) {
       ::usleep(static_cast<useconds_t>(timeout) * 1000);
     }
+    // Transport health: ask the prober (if installed) for dead slots and
+    // fail the running ones early, ahead of their inactivity deadline.
+    if (options.health_tick) {
+      for (const int i : options.health_tick()) {
+        if (i >= 0 && i < nslots &&
+            slots[static_cast<std::size_t>(i)].running) {
+          fail_slot(i, "host health check failed");
+        }
+      }
+    }
+    if (options.progress && steady_clock::now() >= progress_next) {
+      emit_progress(false);
+      progress_next =
+          steady_clock::now() +
+          std::chrono::milliseconds(std::max(options.progress_interval_ms, 1));
+    }
     // Inactivity timeouts: a worker that went silent past the deadline is
     // killed and its remainder rerouted (kill -> backoff -> respawn).
     if (options.worker_timeout_ms > 0) {
@@ -561,6 +625,8 @@ std::vector<election_result> supervise(std::uint64_t trials, rng seed_gen,
     }
     if (trace != nullptr) trace->end("inline_degraded", 0);
   }
+
+  if (options.progress) emit_progress(true);
 
   ensure(completed == trials,
          std::string(what) + ": a trial result never arrived");

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,24 @@ struct supervise_options {
   obs::metrics_registry* metrics = nullptr;
   std::string sidecar_dir;        // worker sidecar directory ("" = off)
   std::uint64_t probe_stride = 0; // worker census-sampling stride (0 = off)
+
+  // Live progress (popsim --progress): the poll loop prints a throttled
+  // status line — trials done/total, per-slot state glyphs, an EWMA trial
+  // rate and the ETA it implies — to *stderr only*.  Fleet stdout stays
+  // byte-identical to serial regardless (tests/test_cli.cpp gates it), so
+  // progress works identically in fork, --hosts and --resume modes.
+  bool progress = false;
+  int progress_interval_ms = 500;  // min delay between status lines
+
+  // Transport health hook, called once per poll-loop iteration (<= ~5 Hz).
+  // net.h's remote sweep installs its host health prober here: the hook
+  // sends/collects health pings and returns the slots whose transport it
+  // judges dead (a host failing several consecutive pings).  The
+  // supervisor fails each returned slot that is still running through the
+  // normal kill -> backoff -> respawn machinery.  Health data only ever
+  // *accelerates* failure detection — it never refreshes a slot's
+  // inactivity deadline (a healthy daemon can still host a stalled run).
+  std::function<std::vector<int>()> health_tick;
 };
 
 // Fork-mode supervised sweep: as fleet_run, but workers that die (crash,

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -43,6 +44,45 @@ struct active_set_sample {
   std::uint64_t active_pairs = 0;
 };
 
+// One closed fixed-interval window of the run: the streaming form of the
+// probe counters.  Window w covers steps [w*len, (w+1)*len) of the step
+// counter; boundaries are crossed deterministically (engines report steps
+// per-step or per-batch at seed-determined points), so the sequence of
+// closed windows is bit-identical across reruns of the same seed.  A batch
+// that spans a boundary is attributed to the window in which it completes,
+// so `steps` may exceed the nominal length on batch engines.
+//
+// This is the input of the ROADMAP's auto-dispatch crossover rule
+// (1 - f)·d̄ < 1: `silent_fraction()` is the per-window f.
+struct probe_window {
+  std::uint64_t index = 0;         // ordinal of the window (0-based)
+  std::uint64_t steps = 0;         // steps attributed to this window
+  std::uint64_t active_steps = 0;  // of those, steps that changed state
+  std::uint64_t census_moves = 0;  // sum |Δtotal| over census samples seen
+  std::uint64_t active_pairs = 0;  // last active-set sample (0 if none yet)
+  // Wall clock at window close (steady, ns since the probe was built).
+  // Deliberately excluded from operator==: it is the only
+  // non-deterministic field, present for live rate/ETA display only.
+  std::uint64_t wall_ns = 0;
+
+  double silent_fraction() const {
+    return steps == 0
+               ? 0.0
+               : static_cast<double>(steps - active_steps) /
+                     static_cast<double>(steps);
+  }
+
+  friend bool operator==(const probe_window& a, const probe_window& b) {
+    return a.index == b.index && a.steps == b.steps &&
+           a.active_steps == b.active_steps &&
+           a.census_moves == b.census_moves &&
+           a.active_pairs == b.active_pairs;  // wall_ns excluded by design
+  }
+  friend bool operator!=(const probe_window& a, const probe_window& b) {
+    return !(a == b);
+  }
+};
+
 struct probe_stats {
   std::uint64_t steps = 0;            // interactions simulated
   std::uint64_t active_steps = 0;     // steps that changed some state
@@ -54,6 +94,12 @@ struct probe_stats {
   std::vector<census_sample> census;  // sampled trajectory, step-ascending
   // Active-pair trajectory (silent scheduler only), step-ascending.
   std::vector<active_set_sample> active_sets;
+  // Ring of the most recent closed windows (window_len != 0 only),
+  // index-ascending.  Bounded at run_probe::kMaxWindows: the oldest window
+  // is dropped when a new one closes, so arbitrarily long runs keep a
+  // recent-history ring instead of growing without bound.
+  std::vector<probe_window> windows;
+  std::uint64_t windows_closed = 0;  // total closed, including dropped ones
 
   std::uint64_t silent_steps() const { return steps - active_steps; }
 };
@@ -85,23 +131,36 @@ struct null_probe {
 // probe deterministically thins to every other sample and doubles the
 // stride, preserving a bounded, evenly spaced trajectory on runs of any
 // length.
+//
+// `window_len` (0 = off) additionally closes a probe_window every time the
+// step counter crosses a multiple of window_len, accumulating into a
+// bounded ring (stats().windows).  Window boundaries live purely on the
+// deterministic step counter — never on the clock — so the ring is
+// bit-identical across reruns; only probe_window::wall_ns (stamped at
+// close, excluded from comparison) sees the clock, one read per window.
 class run_probe {
  public:
   static constexpr bool enabled = true;
   static constexpr std::size_t kMaxSamples = 4096;
+  static constexpr std::size_t kMaxWindows = 4096;
   static constexpr std::uint64_t kDefaultStride = 1024;
 
-  explicit run_probe(std::uint64_t stride = kDefaultStride)
+  explicit run_probe(std::uint64_t stride = kDefaultStride,
+                     std::uint64_t window_len = 0)
       : stride_(stride), next_(stride), active_stride_(stride),
-        active_next_(stride) {}
+        active_next_(stride), window_len_(window_len),
+        window_next_(window_len),
+        epoch_(std::chrono::steady_clock::now()) {}
 
   void on_step(bool active) {
     ++stats_.steps;
     stats_.active_steps += active ? 1u : 0u;
+    if (window_len_ != 0 && stats_.steps >= window_next_) roll_windows();
   }
   void on_steps(std::uint64_t steps, std::uint64_t active) {
     stats_.steps += steps;
     stats_.active_steps += active;
+    if (window_len_ != 0 && stats_.steps >= window_next_) roll_windows();
   }
   void on_predicate_evals(std::uint64_t n) { stats_.predicate_evals += n; }
   void on_draws(std::uint64_t n) { stats_.rng_draws += n; }
@@ -118,6 +177,20 @@ class run_probe {
     sample.step = step;
     sample.counters = counters;
     for (int i = 0; i < counters && i < 4; ++i) sample.totals[i] = totals[i];
+    if (window_len_ != 0) {
+      // Census-change mass: L1 distance between consecutive census samples,
+      // charged to the window that observes the later sample.
+      if (have_last_census_) {
+        std::uint64_t moved = 0;
+        for (int i = 0; i < counters && i < 4; ++i) {
+          std::int64_t d = sample.totals[i] - last_census_.totals[i];
+          moved += static_cast<std::uint64_t>(d < 0 ? -d : d);
+        }
+        win_census_moves_ += moved;
+      }
+      last_census_ = sample;
+      have_last_census_ = true;
+    }
     stats_.census.push_back(sample);
     next_ = step - step % stride_ + stride_;
     if (stats_.census.size() >= kMaxSamples) thin();
@@ -131,21 +204,73 @@ class run_probe {
   }
   void on_active_set(std::uint64_t step, std::uint64_t active_pairs) {
     stats_.active_sets.push_back({step, active_pairs});
+    if (window_len_ != 0) win_active_pairs_ = active_pairs;
     active_next_ = step - step % active_stride_ + active_stride_;
     if (stats_.active_sets.size() >= kMaxSamples) thin_active();
   }
 
+  // Closes the trailing partial window, if any steps accumulated since the
+  // last boundary.  Call once after the run completes; window boundaries
+  // proper never depend on it.
+  void finish() {
+    if (window_len_ != 0 && stats_.steps > window_closed_steps_) {
+      close_window();
+    }
+  }
+
   std::uint64_t stride() const { return stride_; }
+  std::uint64_t window_len() const { return window_len_; }
   const probe_stats& stats() const { return stats_; }
+  const std::vector<probe_window>& windows() const { return stats_.windows; }
 
   void reset() {
     stats_ = probe_stats{};
     next_ = stride_;
     active_stride_ = stride_;
     active_next_ = stride_;
+    window_next_ = window_len_;
+    window_index_ = 0;
+    window_closed_steps_ = 0;
+    window_closed_active_ = 0;
+    win_census_moves_ = 0;
+    win_active_pairs_ = 0;
+    have_last_census_ = false;
+    epoch_ = std::chrono::steady_clock::now();
   }
 
  private:
+  // Close every window boundary the step counter has crossed.  The first
+  // window closed takes all steps accumulated since the previous close;
+  // when a batch jumps several boundaries at once the overshot windows
+  // close empty (the batch is attributed where it completed).
+  void roll_windows() {
+    do {
+      close_window();
+    } while (stats_.steps >= window_next_);
+  }
+
+  void close_window() {
+    probe_window w;
+    w.index = window_index_++;
+    w.steps = stats_.steps - window_closed_steps_;
+    w.active_steps = stats_.active_steps - window_closed_active_;
+    w.census_moves = win_census_moves_;
+    w.active_pairs = win_active_pairs_;
+    w.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    window_closed_steps_ = stats_.steps;
+    window_closed_active_ = stats_.active_steps;
+    win_census_moves_ = 0;
+    if (stats_.windows.size() >= kMaxWindows) {
+      stats_.windows.erase(stats_.windows.begin());
+    }
+    stats_.windows.push_back(w);
+    ++stats_.windows_closed;
+    window_next_ = window_index_ * window_len_ + window_len_;
+  }
+
   void thin() {
     std::size_t kept = 0;
     for (std::size_t i = 1; i < stats_.census.size(); i += 2) {
@@ -171,6 +296,17 @@ class run_probe {
   std::uint64_t next_ = kDefaultStride;
   std::uint64_t active_stride_ = kDefaultStride;
   std::uint64_t active_next_ = kDefaultStride;
+  // Window ring state (window_len_ == 0 disables all of it).
+  std::uint64_t window_len_ = 0;
+  std::uint64_t window_next_ = 0;       // step count that closes the window
+  std::uint64_t window_index_ = 0;      // ordinal of the open window
+  std::uint64_t window_closed_steps_ = 0;   // steps already attributed
+  std::uint64_t window_closed_active_ = 0;  // active steps already attributed
+  std::uint64_t win_census_moves_ = 0;  // census mass in the open window
+  std::uint64_t win_active_pairs_ = 0;  // last active-set sample seen
+  census_sample last_census_{};
+  bool have_last_census_ = false;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace pp::obs

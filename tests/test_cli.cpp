@@ -137,6 +137,8 @@ TEST(CliExitCodes, InvalidInvocationsExitNonzero) {
       "--serve 0 --cache-mb 1048577",            // beyond the 1 TB ceiling
       "--serve 0 --cache-mb 1e2",                // non-integer budget
       "--load-artifact /dev/null --cache-mb 64", // --cache-mb needs --serve
+      "clique 100 id --progress",                // progress needs the engine
+      "--serve 0 --progress",                    // daemon takes no sweep flags
   };
   for (const char* args : invalid) {
     const cli_result r = run_cli(args);
@@ -339,6 +341,28 @@ TEST(CliFleet, MetricsAndTraceLeaveStdoutUntouched) {
   EXPECT_NE(tjson.find("\"name\": \"trial\""), std::string::npos);
   std::remove(metrics.c_str());
   std::remove(trace.c_str());
+}
+
+// --progress is stderr-only: the status line rides any sweep (it routes even
+// a --jobs 1 run through the supervisor) without perturbing stdout.
+TEST(CliFleet, ProgressLeavesStdoutUntouched) {
+  const std::string base = "cycle 200 fast --trials 6 --seed 8";
+
+  const cli_result serial = run_cli(base);
+  ASSERT_EQ(serial.code, 0);
+  const cli_result progressed = run_cli(base + " --jobs 2 --progress");
+  ASSERT_EQ(progressed.code, 0);
+  EXPECT_EQ(serial.out, progressed.out);
+  const cli_result supervised_serial = run_cli(base + " --progress");
+  ASSERT_EQ(supervised_serial.code, 0);
+  EXPECT_EQ(serial.out, supervised_serial.out);
+
+  // The final status line lands on stderr: all trials done, no ETA left.
+  const cli_result err = run_cli_stderr(base + " --jobs 2 --progress");
+  ASSERT_EQ(err.code, 0);
+  EXPECT_NE(err.out.find("6/6 trials"), std::string::npos)
+      << "stderr was: " << err.out;
+  EXPECT_NE(err.out.find("done"), std::string::npos);
 }
 
 TEST(CliFleet, WellmixedArtifactSweepIsDeterministic) {

@@ -192,6 +192,156 @@ TEST(RunProbe, ThinningBoundsTheSampleVector) {
 }
 
 // ---------------------------------------------------------------------------
+// Window ring: fixed-interval streaming stats whose boundaries live purely
+// on the deterministic step counter — bit-identical across reruns.
+
+TEST(ProbeWindows, BoundariesLiveOnTheStepCounter) {
+  obs::run_probe probe(16, 100);
+  for (int i = 0; i < 250; ++i) probe.on_step(i % 2 == 0);
+  ASSERT_EQ(probe.windows().size(), 2u);
+  EXPECT_EQ(probe.windows()[0].index, 0u);
+  EXPECT_EQ(probe.windows()[0].steps, 100u);
+  EXPECT_EQ(probe.windows()[0].active_steps, 50u);
+  EXPECT_EQ(probe.windows()[1].index, 1u);
+  EXPECT_EQ(probe.windows()[1].steps, 100u);
+  EXPECT_DOUBLE_EQ(probe.windows()[0].silent_fraction(), 0.5);
+  // finish() closes the trailing 50-step partial; a second call is a no-op.
+  probe.finish();
+  ASSERT_EQ(probe.windows().size(), 3u);
+  EXPECT_EQ(probe.windows()[2].steps, 50u);
+  EXPECT_EQ(probe.stats().windows_closed, 3u);
+  probe.finish();
+  EXPECT_EQ(probe.stats().windows_closed, 3u);
+}
+
+TEST(ProbeWindows, BatchOvershootClosesEmptyWindows) {
+  // A batch spanning several boundaries is attributed to the window where
+  // it completes; the overshot windows close with zero steps.
+  obs::run_probe probe(0, 100);
+  probe.on_steps(30, 10);
+  ASSERT_TRUE(probe.windows().empty());
+  probe.on_steps(350, 100);  // counter jumps 30 -> 380: closes w0, w1, w2
+  ASSERT_EQ(probe.windows().size(), 3u);
+  EXPECT_EQ(probe.windows()[0].steps, 380u);
+  EXPECT_EQ(probe.windows()[0].active_steps, 110u);
+  EXPECT_EQ(probe.windows()[1].steps, 0u);
+  EXPECT_EQ(probe.windows()[2].steps, 0u);
+  probe.on_steps(20, 0);  // 400 exactly: the boundary step closes w3
+  ASSERT_EQ(probe.windows().size(), 4u);
+  EXPECT_EQ(probe.windows()[3].steps, 20u);
+  probe.finish();  // nothing accumulated past the last boundary
+  EXPECT_EQ(probe.stats().windows_closed, 4u);
+}
+
+TEST(ProbeWindows, RingDropsOldestWindowAtTheCap) {
+  obs::run_probe probe(0, 1);
+  const std::uint64_t total = obs::run_probe::kMaxWindows + 10;
+  for (std::uint64_t s = 0; s < total; ++s) probe.on_step(false);
+  EXPECT_EQ(probe.windows().size(), obs::run_probe::kMaxWindows);
+  EXPECT_EQ(probe.stats().windows_closed, total);
+  EXPECT_EQ(probe.windows().front().index, 10u);
+  EXPECT_EQ(probe.windows().back().index, total - 1);
+}
+
+// Runs `run` twice with window-enabled probes and asserts the rings are
+// bit-identical (probe_window::operator== excludes wall_ns by design) and
+// consistent with the aggregate counters.
+template <typename RunFn>
+void expect_windows_reproducible(RunFn&& run, std::uint64_t stride,
+                                 std::uint64_t window_len) {
+  obs::run_probe a(stride, window_len);
+  obs::run_probe b(stride, window_len);
+  run(&a);
+  run(&b);
+  a.finish();
+  b.finish();
+  ASSERT_FALSE(a.windows().empty());
+  ASSERT_EQ(a.stats().windows_closed, b.stats().windows_closed);
+  EXPECT_TRUE(a.windows() == b.windows());
+  if (a.stats().windows_closed == a.windows().size()) {
+    std::uint64_t steps = 0;
+    std::uint64_t active = 0;
+    std::uint64_t prev_index = 0;
+    for (std::size_t i = 0; i < a.windows().size(); ++i) {
+      const obs::probe_window& w = a.windows()[i];
+      ASSERT_EQ(w.index, i == 0 ? prev_index : prev_index + 1);
+      prev_index = w.index;
+      steps += w.steps;
+      active += w.active_steps;
+    }
+    EXPECT_EQ(steps, a.stats().steps);
+    EXPECT_EQ(active, a.stats().active_steps);
+  }
+}
+
+TEST(ProbeWindows, StepEngineBitIdenticalAcrossReruns) {
+  // run_compiled: the lazy u32 per-step fallback.
+  const fast_protocol proto(fast_params{});
+  const graph g = make_cycle(33);
+  compiled_protocol<fast_protocol> compiled(proto);
+  const edge_endpoints edges(g);
+  expect_windows_reproducible(
+      [&](obs::run_probe* p) {
+        run_compiled(compiled, edges, g, rng(47).fork(0), {}, nullptr, p);
+      },
+      64, 256);
+}
+
+TEST(ProbeWindows, PackedEngineBitIdenticalAcrossReruns) {
+  const fast_protocol proto(fast_params{});
+  const graph g = make_clique(24);
+  const tuned_runner<fast_protocol> runner(proto, g,
+                                           {vertex_order::natural, 16});
+  expect_windows_reproducible(
+      [&](obs::run_probe* p) { runner.run(rng(48).fork(0), {}, p); }, 64,
+      256);
+}
+
+TEST(ProbeWindows, SilentSchedulerBitIdenticalAcrossReruns) {
+  // The event-driven scheduler in its backup-dominated regime: windows
+  // also carry the active-pair trajectory.
+  fast_params params;
+  params.h = 4;
+  params.level_threshold = 8;
+  params.max_level = 9;
+  rng gg(5);
+  const graph g = make_random_regular(64, 4, gg);
+  const fast_protocol proto(params);
+  const tuned_runner<fast_protocol> runner(proto, g);
+  sim_options options;
+  options.scheduler = scheduler_kind::silent;
+  expect_windows_reproducible(
+      [&](obs::run_probe* p) { runner.run(rng(49).fork(0), options, p); },
+      64, 512);
+}
+
+TEST(ProbeWindows, WellmixedBatchEngineBitIdenticalAcrossReruns) {
+  // Batch engine: window steps may exceed the nominal length (a batch is
+  // attributed where it completes) but the ring is still bit-identical.
+  const std::uint64_t n = 4096;
+  const fast_protocol proto(fast_params::practical_clique(n));
+  expect_windows_reproducible(
+      [&](obs::run_probe* p) { run_wellmixed(proto, n, rng(50).fork(0), {}, p); },
+      1024, 4096);
+}
+
+TEST(ProbeWindows, ProbeWithWindowsIsStillInvisible) {
+  // Enabling the window ring must not steer the simulation, exactly like
+  // every other probe feature.
+  const fast_protocol proto(fast_params{});
+  const graph g = make_cycle(33);
+  const tuned_runner<fast_protocol> runner(proto, g);
+  const election_result plain = runner.run(rng(51).fork(0), {});
+  obs::run_probe probe(64, 256);
+  const election_result probed = runner.run(rng(51).fork(0), {}, &probe);
+  probe.finish();
+  EXPECT_EQ(plain.steps, probed.steps);
+  EXPECT_EQ(plain.leader, probed.leader);
+  EXPECT_EQ(plain.stabilized, probed.stabilized);
+  EXPECT_GT(probe.stats().windows_closed, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Histograms: bucket_of == bit_width, bucket 0 = {0}, bucket i = [2^(i-1), 2^i).
 
 TEST(Histogram, BucketBoundaries) {

@@ -44,9 +44,14 @@ REQUIRED_KEYS = {
         "results",
         "overhead_disabled_frac",
         "overhead_enabled_frac",
+        "overhead_windowed_frac",
+        "progress_overhead_frac",
         "disabled_pass",
         "enabled_pass",
+        "windowed_pass",
+        "progress_pass",
         "determinism_pass",
+        "window_determinism_pass",
     ],
 }
 

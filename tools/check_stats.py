@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validator for a popsimd STATS snapshot (src/fleet/net.h STATS/STATS_OK,
+the daemon's obs::metrics_registry rendered as metrics JSON).
+
+Checks the snapshot a live daemon hands back — as captured by
+`tools/hammer.py --stats-out FILE` or a raw STATS round-trip:
+
+  * strict JSON (literal NaN/Infinity rejected), top-level object with
+    "popsim_metrics": 1 and counters/gauges objects of non-negative
+    integers;
+  * every counter and gauge the daemon pre-registers at startup is
+    present, so a snapshot is complete from the very first request —
+    a missing fleet.net.* or fleet.cache.* key means the wire payload
+    was truncated or the daemon silently dropped a metric;
+  * the daemon's own accounting invariants hold: cache hits + misses ==
+    decoded requests (every REQ_SWEEP takes exactly one cache path),
+    runners reaped <= spawned, and live gauges are non-negative.
+
+Usage: check_stats.py FILE [FILE...]
+Exits nonzero on any violation.
+"""
+
+import json
+import math
+import sys
+
+# Counters the daemon pre-registers in its constructor (src/fleet/service.cpp)
+# so snapshots are complete before the first request lands.
+REQUIRED_COUNTERS = [
+    "fleet.cache.evictions",
+    "fleet.cache.hits",
+    "fleet.cache.insertions",
+    "fleet.cache.misses",
+    "fleet.net.artifact_bytes_received",
+    "fleet.net.connections_accepted",
+    "fleet.net.pings",
+    "fleet.net.rejects",
+    "fleet.net.requests",
+    "fleet.net.stats_requests",
+    "fleet.runners_reaped",
+    "fleet.runners_spawned",
+]
+
+REQUIRED_GAUGES = [
+    "fleet.cache.bytes",
+    "fleet.cache.entries",
+    "fleet.children_live",
+    "fleet.net.connections",
+]
+
+
+def reject_nonfinite(item, path):
+    if isinstance(item, float) and not math.isfinite(item):
+        raise ValueError(f"non-finite number at {path}")
+    if isinstance(item, dict):
+        for key, value in item.items():
+            reject_nonfinite(value, f"{path}.{key}")
+    if isinstance(item, list):
+        for index, value in enumerate(item):
+            reject_nonfinite(value, f"{path}[{index}]")
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(
+                handle,
+                parse_constant=lambda token: (_ for _ in ()).throw(
+                    ValueError(f"non-finite constant {token!r}")
+                ),
+            )
+    except (OSError, ValueError) as error:
+        return [f"invalid JSON: {error}"]
+    try:
+        reject_nonfinite(doc, "$")
+    except ValueError as error:
+        return [str(error)]
+
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("popsim_metrics") != 1:
+        errors.append('missing "popsim_metrics": 1 marker')
+
+    def section(name, required):
+        table = doc.get(name)
+        if not isinstance(table, dict):
+            errors.append(f'missing "{name}" object')
+            return {}
+        for key, value in table.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{name}.{key} is not an integer: {value!r}")
+            elif value < 0:
+                errors.append(f"{name}.{key} is negative: {value}")
+        for key in required:
+            if key not in table:
+                errors.append(f"{name} missing required key {key!r}")
+        return table
+
+    counters = section("counters", REQUIRED_COUNTERS)
+    gauges = section("gauges", REQUIRED_GAUGES)
+    if errors:
+        return errors
+
+    requests = counters["fleet.net.requests"]
+    hits = counters["fleet.cache.hits"]
+    misses = counters["fleet.cache.misses"]
+    if hits + misses != requests:
+        errors.append(
+            f"cache hits {hits} + misses {misses} != requests {requests}")
+    if counters["fleet.runners_reaped"] > counters["fleet.runners_spawned"]:
+        errors.append(
+            f"runners reaped {counters['fleet.runners_reaped']} > "
+            f"spawned {counters['fleet.runners_spawned']}")
+    if counters["fleet.cache.insertions"] < gauges["fleet.cache.entries"]:
+        errors.append(
+            f"cache entries {gauges['fleet.cache.entries']} exceed "
+            f"insertions {counters['fleet.cache.insertions']}")
+    return errors
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_stats.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = check(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,14 +11,23 @@ every connection the same prepared sweep.
     $ python3 tools/hammer.py --port PORT --artifact sweep.ppaf \
           --concurrency 100 --trials 5 --seed 7
 
-Speaks the wire protocol (src/fleet/wire.h + net.h) directly from the
-stdlib: 'u32 length | payload | u64 fnv1a64(payload)' frames, REQ_SWEEP /
-NEED_ARTIFACT / ARTIFACT_DATA / OK_CACHED / ERR handshake, then raw
-41-byte record frames to EOF.  Exits nonzero (with the offending thread's
-error) on any divergence, short stream, ERR reply or timeout.
+While the sweep threads are in flight the hammer also exercises the v3
+control plane: a STATS snapshot is taken mid-run and again after every
+stream has drained, and the final snapshot must satisfy the daemon's own
+accounting invariants (requests >= concurrency, cache hits + misses ==
+requests, at least one cache entry).  --stats-out FILE dumps the final
+snapshot for downstream validation (tools/check_stats.py).
+
+Speaks the wire protocol (src/fleet/wire.h + net.h, version 3) directly
+from the stdlib: 'u32 length | payload | u64 fnv1a64(payload)' frames,
+REQ_SWEEP / NEED_ARTIFACT / ARTIFACT_DATA / OK_CACHED / ERR handshake plus
+the STATS / STATS_OK control pair, then raw 41-byte record frames to EOF.
+Exits nonzero (with the offending thread's error) on any divergence, short
+stream, ERR reply, timeout or counter-invariant violation.
 """
 
 import argparse
+import json
 import socket
 import struct
 import sys
@@ -28,11 +37,15 @@ FNV_BASIS = 0xcbf29ce484222325
 FNV_PRIME = 0x100000001b3
 MASK64 = (1 << 64) - 1
 
+NET_VERSION = 3  # src/fleet/net.h kNetVersion — exact match required
+
 REQ_SWEEP = 0x01
 ARTIFACT_DATA = 0x02
+STATS = 0x04
 OK_CACHED = 0x10
 NEED_ARTIFACT = 0x11
 ERR = 0x12
+STATS_OK = 0x14
 
 RECORD_PAYLOAD = 29  # sweep.h trial record
 RECORD_FRAME = 4 + RECORD_PAYLOAD + 8
@@ -74,9 +87,9 @@ def recv_frame(sock: socket.socket) -> bytes:
 
 def sweep_request(artifact: bytes, trials: int, seed: int) -> bytes:
     return struct.pack(
-        "<BIQQIQQQQQQI",
+        "<BIQQIQQQQQQBI",
         REQ_SWEEP,
-        1,  # kNetVersion
+        NET_VERSION,
         fnv1a64(artifact),
         len(artifact),
         0,  # slot (no faults: every thread may share it)
@@ -86,8 +99,24 @@ def sweep_request(artifact: bytes, trials: int, seed: int) -> bytes:
         trials,  # count: the whole sweep in one chunk
         MASK64,  # max_steps
         0,  # wellmixed_batch
+        0,  # scheduler: step
         0,  # no fault specs
     )
+
+
+def fetch_stats(host, port, timeout):
+    """One STATS round-trip; returns the parsed metrics-JSON snapshot."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(frame(struct.pack("<BI", STATS, NET_VERSION)))
+        reply = recv_frame(sock)
+        if not reply or reply[0] != STATS_OK:
+            if reply and reply[0] == ERR:
+                raise RuntimeError("daemon: " + reply[1:].decode(errors="replace"))
+            raise RuntimeError(f"unexpected STATS reply {reply[:1].hex()}")
+        snapshot = json.loads(reply[1:].decode())
+        if snapshot.get("popsim_metrics") != 1:
+            raise RuntimeError("STATS payload is not a metrics snapshot")
+        return snapshot
 
 
 def one_request(host, port, request_frame, artifact_frame, timeout):
@@ -116,6 +145,40 @@ def one_request(host, port, request_frame, artifact_frame, timeout):
             records += chunk
 
 
+def check_counters(snapshot, concurrency):
+    """Asserts the daemon's accounting invariants on a final STATS snapshot.
+
+    Returns a list of violation strings (empty = sane).  hits + misses ==
+    requests is exact by construction: every decoded REQ_SWEEP takes
+    exactly one of the two cache paths.
+    """
+    counters = snapshot.get("counters", {})
+    problems = []
+
+    def need(key):
+        if key not in counters:
+            problems.append(f"missing counter {key}")
+            return 0
+        return counters[key]
+
+    requests = need("fleet.net.requests")
+    hits = need("fleet.cache.hits")
+    misses = need("fleet.cache.misses")
+    stats_reqs = need("fleet.net.stats_requests")
+    if requests < concurrency:
+        problems.append(
+            f"fleet.net.requests = {requests}, want >= {concurrency}")
+    if hits + misses != requests:
+        problems.append(
+            f"cache hits {hits} + misses {misses} != requests {requests}")
+    if stats_reqs < 1:
+        problems.append("fleet.net.stats_requests = 0 after a STATS call")
+    entries = snapshot.get("gauges", {}).get("fleet.cache.entries", 0)
+    if entries < 1:
+        problems.append(f"fleet.cache.entries = {entries}, want >= 1")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="assert N concurrent popsimd sweeps stream identically")
@@ -127,6 +190,8 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="per-socket-operation timeout in seconds")
+    parser.add_argument("--stats-out", default="",
+                        help="write the final STATS snapshot JSON to FILE")
     args = parser.parse_args()
 
     with open(args.artifact, "rb") as f:
@@ -148,6 +213,18 @@ def main() -> int:
                for i in range(args.concurrency)]
     for t in threads:
         t.start()
+
+    # Mid-run STATS: the control plane must answer while sweep forks are in
+    # flight — a read-only snapshot, racing the counters is fine; only the
+    # final snapshot is held to the invariants.
+    try:
+        fetch_stats(args.host, args.port, args.timeout)
+    except Exception as e:  # noqa: BLE001
+        print(f"hammer: mid-run STATS failed: {e}", file=sys.stderr)
+        for t in threads:
+            t.join()
+        return 1
+
     for t in threads:
         t.join()
 
@@ -172,8 +249,25 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    try:
+        snapshot = fetch_stats(args.host, args.port, args.timeout)
+    except Exception as e:  # noqa: BLE001
+        print(f"hammer: final STATS failed: {e}", file=sys.stderr)
+        return 1
+    problems = check_counters(snapshot, args.concurrency)
+    if problems:
+        for p in problems:
+            print(f"hammer: counter check: {p}", file=sys.stderr)
+        return 1
+    if args.stats_out:
+        with open(args.stats_out, "w") as f:
+            json.dump(snapshot, f, indent=1, sort_keys=True)
+            f.write("\n")
+
     print(f"hammer: ok — {args.concurrency} concurrent requests, "
-          f"{expected} identical bytes each")
+          f"{expected} identical bytes each; "
+          f"{snapshot['counters']['fleet.net.requests']} requests served, "
+          f"{snapshot['counters']['fleet.cache.hits']} cache hits")
     return 0
 
 
